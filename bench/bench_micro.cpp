@@ -1,0 +1,130 @@
+// E8 — micro-costs of the substrate (google-benchmark).
+//
+// Not a paper artifact: sanity-level numbers for the simulator and
+// framework primitives, useful when re-calibrating (a simulated second
+// should cost far less than a real one at these event rates).
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "stack/group.hpp"
+#include "stack/message.hpp"
+#include "switch/hybrid.hpp"
+#include "trace/generators.hpp"
+#include "trace/properties.hpp"
+#include "util/digest.hpp"
+
+namespace msw {
+namespace {
+
+void BM_WriterReaderRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Bytes buf;
+    Writer w(buf);
+    w.u32(1);
+    w.u64(2);
+    w.str("header");
+    Reader r(buf);
+    benchmark::DoNotOptimize(r.u32());
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.str());
+  }
+}
+BENCHMARK(BM_WriterReaderRoundTrip);
+
+void BM_MessageHeaderPushPop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Message m = Message::group(Bytes(64, 'x'));
+    for (std::size_t i = 0; i < depth; ++i) {
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(i));
+        w.u64(i);
+      });
+    }
+    for (std::size_t i = 0; i < depth; ++i) {
+      m.pop_header([](Reader& r) {
+        r.u8();
+        r.u64();
+      });
+    }
+    benchmark::DoNotOptimize(m.data.data());
+  }
+}
+BENCHMARK(BM_MessageHeaderPushPop)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_Mac(benchmark::State& state) {
+  const Bytes body(static_cast<std::size_t>(state.range(0)), 'b');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac(0x1234, 7, body));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Mac)->Arg(64)->Arg(1024);
+
+void BM_StreamCrypt(benchmark::State& state) {
+  Bytes body(static_cast<std::size_t>(state.range(0)), 'b');
+  for (auto _ : state) {
+    stream_crypt(0x1234, 7, body);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_StreamCrypt)->Arg(64)->Arg(1024);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.at(i, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed());
+  }
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_SimulatedSecondSequencer(benchmark::State& state) {
+  // Cost of simulating 1 s of a 10-member sequencer group at 250 msg/s.
+  for (auto _ : state) {
+    Simulation sim(1);
+    NetConfig nc;
+    nc.cpu_send = 500;
+    nc.cpu_recv = 500;
+    Network net(sim.scheduler(), sim.fork_rng(), nc);
+    Group group(sim, net, 10, make_sequencer_factory());
+    group.start();
+    for (int k = 0; k < 250; ++k) {
+      sim.scheduler().at(k * 4 * kMillisecond,
+                         [&group, k] { group.send(static_cast<std::size_t>(k % 5), Bytes(64)); });
+    }
+    sim.run_until(kSecond);
+    benchmark::DoNotOptimize(group.total_delivered());
+  }
+}
+BENCHMARK(BM_SimulatedSecondSequencer)->Unit(benchmark::kMillisecond);
+
+void BM_TotalOrderPropertyCheck(benchmark::State& state) {
+  Rng rng(3);
+  GenOptions opts;
+  opts.n_procs = 6;
+  opts.n_msgs = static_cast<std::uint32_t>(state.range(0));
+  const Trace tr = gen_total_order_trace(rng, opts);
+  TotalOrderProperty prop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.holds(tr));
+  }
+}
+BENCHMARK(BM_TotalOrderPropertyCheck)->Arg(8)->Arg(32);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(standard_corpus(rng, 4, 4));
+  }
+}
+BENCHMARK(BM_CorpusGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace msw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E5 — section 7: oracle aggressiveness and oscillation.
+//
+// The paper: "If switching too aggressively, the resulting protocol starts
+// oscillating. If we make our protocol less aggressive (by adding a
+// hysteresis), we ran into an unexpected hitch [switch cost depends on the
+// latency of the protocol being switched away from]."
+//
+// Workload: the active-sender count flip-flops around the cross-over
+// (between 4 and 6 senders every 400 ms) for 20 s. Compared oracles:
+//   - static sequencer / static token (no switching),
+//   - aggressive single threshold at 5,
+//   - hysteresis (switch up at >=6, down at <=3, >=1 s dwell).
+// Reported: completed switches (oscillation count) and mean latency.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "calibration.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw::bench {
+namespace {
+
+struct AblationRow {
+  const char* name;
+  std::uint64_t switches;
+  double mean_ms;
+  double p99_ms;
+  std::uint64_t missing;
+};
+
+AblationRow run_oracle(const char* name, OracleFactory oracle, int fixed_protocol = -1) {
+  Simulation sim(kSeed);
+  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+
+  LayerFactory factory;
+  if (fixed_protocol == 0) {
+    factory = make_sequencer_factory(sequencer_config());
+  } else if (fixed_protocol == 1) {
+    factory = make_token_factory(token_config());
+  } else {
+    HybridConfig cfg;
+    cfg.sequencer = sequencer_config();
+    cfg.token = token_config();
+    cfg.sp = switch_config();
+    cfg.oracle = std::move(oracle);
+    factory = make_hybrid_total_order_factory(cfg);
+  }
+  Group group(sim, net, kGroupSize, factory);
+  group.start();
+
+  // Fluctuating load: phases of 2 s alternating between 4 and 6 active
+  // senders, 50 msg/s each (Poisson), 20 s total — the load keeps crossing
+  // the protocols' cross-over point.
+  Rng rng = sim.fork_rng();
+  const Duration phase_len = 2 * kSecond;
+  const Time end_sends = 20 * kSecond;
+  const auto interval = static_cast<Duration>(1e6 / 50.0);
+  for (std::size_t s = 0; s < 6; ++s) {
+    Time t = static_cast<Duration>(rng.below(static_cast<std::uint64_t>(interval)));
+    while (t < end_sends) {
+      const bool high_phase = (t / phase_len) % 2 == 1;
+      const std::size_t active = high_phase ? 6 : 4;
+      if (s < active) {
+        sim.scheduler().at(t, [&group, s] { group.send(s, Bytes(64, 'o')); });
+      }
+      t += std::max<Duration>(1, static_cast<Duration>(
+                                     rng.exponential(static_cast<double>(interval))));
+    }
+  }
+  sim.run_until(end_sends + 10 * kSecond);
+
+  AblationRow row{};
+  row.name = name;
+  if (fixed_protocol < 0) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      row.switches = std::max(row.switches,
+                              switch_layer_of(group.stack(i)).stats().switches_completed);
+    }
+  }
+  const auto tl = trace_latency(group.trace(), 1 * kSecond, end_sends, group.size());
+  row.mean_ms = tl.latency_ms.mean();
+  row.p99_ms = tl.latency_ms.percentile(99);
+  row.missing = tl.missing_deliveries;
+  return row;
+}
+
+int run() {
+  title("Section 7 — oracle ablation: oscillation vs. hysteresis");
+  note("load flip-flops 4 <-> 6 active senders every 2 s for 20 s (cross-over sits at 5..6)");
+  std::printf("\n%-26s %10s %12s %12s %10s\n", "oracle", "switches", "mean(ms)", "p99(ms)",
+              "missing");
+  rule(76);
+
+  const auto rows = {
+      run_oracle("static sequencer", {}, 0),
+      run_oracle("static token", {}, 1),
+      run_oracle("aggressive threshold(5)",
+                 [](NodeId) { return std::make_unique<ThresholdOracle>(5); }),
+      run_oracle("hysteresis(3,6,1s)",
+                 [](NodeId) {
+                   return std::make_unique<HysteresisOracle>(3, 6, 1 * kSecond);
+                 }),
+  };
+  std::uint64_t aggressive_switches = 0, hysteresis_switches = 0;
+  for (const auto& r : rows) {
+    std::printf("%-26s %10llu %12.2f %12.2f %10llu\n", r.name,
+                static_cast<unsigned long long>(r.switches), r.mean_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.missing));
+    if (std::string(r.name).rfind("aggressive", 0) == 0) aggressive_switches = r.switches;
+    if (std::string(r.name).rfind("hysteresis", 0) == 0) hysteresis_switches = r.switches;
+  }
+  rule(76);
+  std::printf(
+      "oscillation check: aggressive oracle switched %llu times vs %llu with\n"
+      "hysteresis (paper: 'if switching too aggressively, the resulting protocol\n"
+      "starts oscillating').\n",
+      static_cast<unsigned long long>(aggressive_switches),
+      static_cast<unsigned long long>(hysteresis_switches));
+  return 0;
+}
+
+}  // namespace
+}  // namespace msw::bench
+
+int main() { return msw::bench::run(); }

@@ -1,0 +1,125 @@
+// E4 — section 7: the cost of switching.
+//
+// At each load level k (active senders at 50 msg/s), trigger one switch
+// from the sequencer to the token protocol mid-run and measure:
+//   - switch duration at the initiator (NORMAL token captured -> FLUSH
+//     returned; the paper reports ~31 ms near the cross-over),
+//   - the worst local switch duration across members,
+//   - the perceived application hiccup: worst delivery latency for
+//     messages sent during the switch window, compared against the
+//     steady-state mean before it (the paper notes the hiccup is often
+//     smaller than the switch overhead because senders are never blocked).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "calibration.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw::bench {
+namespace {
+
+struct OverheadRow {
+  std::size_t senders;
+  double switch_ms;        // initiator: NORMAL -> FLUSH return
+  double worst_local_ms;   // worst member PREPARE -> switchover
+  double baseline_ms;      // steady-state mean latency before the switch
+  double hiccup_ms;        // worst in-switch latency minus baseline mean
+  std::uint64_t max_buffered;
+};
+
+OverheadRow measure(std::size_t senders) {
+  Simulation sim(kSeed);
+  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+  HybridConfig hcfg;
+  hcfg.sequencer = sequencer_config();
+  hcfg.token = token_config();
+  hcfg.sp = switch_config();
+  Group group(sim, net, kGroupSize, make_hybrid_total_order_factory(hcfg));
+  group.start();
+
+  // Drive the paper workload by hand so we can act mid-run.
+  Rng rng = sim.fork_rng();
+  const auto wl = paper_workload(senders);
+  const auto interval = static_cast<Duration>(1e6 / wl.rate_per_sender);
+  const Time end_sends = 6 * kSecond;
+  for (std::size_t s = 0; s < wl.senders; ++s) {
+    Time t = static_cast<Duration>(rng.below(static_cast<std::uint64_t>(interval)));
+    while (t < end_sends) {
+      sim.scheduler().at(t, [&group, s] { group.send(s, Bytes(64, 'w')); });
+      t += std::max<Duration>(1, static_cast<Duration>(
+                                     rng.exponential(static_cast<double>(interval))));
+    }
+  }
+
+  auto& initiator = switch_layer_of(group.stack(1));
+  const Time switch_at = 3 * kSecond;
+  sim.scheduler().at(switch_at, [&initiator] { initiator.request_switch(); });
+
+  // Run until every member completed the switch, then drain.
+  Time completed_at = 0;
+  sim.run_until(switch_at);
+  while (sim.now() < 20 * kSecond) {
+    sim.run_for(kMillisecond);
+    bool all = true;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (switch_layer_of(group.stack(i)).epoch() < 1) all = false;
+    }
+    if (all) {
+      completed_at = sim.now();
+      break;
+    }
+  }
+  sim.run_until(end_sends + 10 * kSecond);
+
+  OverheadRow row{};
+  row.senders = senders;
+  row.switch_ms = to_ms(initiator.stats().last_switch_duration);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto& st = switch_layer_of(group.stack(i)).stats();
+    row.worst_local_ms = std::max(row.worst_local_ms, to_ms(st.last_local_switch_duration));
+    row.max_buffered = std::max(row.max_buffered, st.max_buffered);
+  }
+  const auto baseline = trace_latency(group.trace(), 1 * kSecond, switch_at, group.size());
+  const auto during =
+      trace_latency(group.trace(), switch_at, std::max(completed_at, switch_at + 1),
+                    group.size());
+  row.baseline_ms = baseline.latency_ms.mean();
+  row.hiccup_ms =
+      during.latency_ms.empty() ? 0.0 : during.latency_ms.max() - baseline.latency_ms.mean();
+  return row;
+}
+
+int run() {
+  title("Section 7 — overhead of switching (sequencer -> token)");
+  note("one switch triggered at t=3 s under k senders x 50 msg/s");
+  std::printf("\n%-8s %12s %14s %14s %12s %10s\n", "senders", "switch(ms)", "worstLocal(ms)",
+              "baseline(ms)", "hiccup(ms)", "buffered");
+  rule(78);
+  double near_crossover = 0;
+  for (std::size_t k = 1; k <= kGroupSize; ++k) {
+    const auto row = measure(k);
+    std::printf("%-8zu %12.2f %14.2f %14.2f %12.2f %10llu\n", row.senders, row.switch_ms,
+                row.worst_local_ms, row.baseline_ms, row.hiccup_ms,
+                static_cast<unsigned long long>(row.max_buffered));
+    if (k == 5) near_crossover = row.switch_ms;
+  }
+  rule(78);
+  std::printf(
+      "paper: 'the overhead of switching near the cross-over point is about 31\n"
+      "msecs... the perceived hiccup is often less than that' — measured %.1f ms at\n"
+      "k=5 (same order of magnitude; our simulated control hop costs ~1.75 ms vs.\n"
+      "roughly 1 ms on the paper's testbed, and the token crosses 10 members three\n"
+      "times). Up to the cross-over the hiccup stays below the switch duration\n"
+      "because senders are never blocked; beyond it both columns are dominated by\n"
+      "draining the saturated sequencer's backlog — the paper's 'unexpected hitch':\n"
+      "switch cost depends on the latency of the protocol being switched away from.\n",
+      near_crossover);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msw::bench
+
+int main() { return msw::bench::run(); }

@@ -1,0 +1,96 @@
+// E2 — Table 2: which properties satisfy which meta-properties?
+//
+// Re-derives the paper's classification mechanically: for every (property,
+// meta-property) pair the checker searches for a counterexample to
+// preservation over a generated corpus of property-satisfying traces.
+// 'Y' = no counterexample found; 'n' = refuted, and the witness pair is
+// printed below the table.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trace/generators.hpp"
+#include "trace/meta.hpp"
+
+namespace msw::bench {
+namespace {
+
+int run() {
+  title("Table 2 — which properties satisfy which meta-properties?");
+  Rng rng(2026);
+  const auto corpus = standard_corpus(rng, 12, 4);
+  std::printf("corpus: %zu generated traces over 4 processes\n\n", corpus.size());
+
+  const auto props = standard_properties(4);
+  const auto matrix = compute_meta_matrix(props, corpus, rng, 32);
+  const auto columns = meta_matrix_columns();
+
+  std::printf("%-22s", "");
+  for (const auto& c : columns) std::printf(" %-13.13s", std::string(c).c_str());
+  std::printf("\n");
+  rule(106);
+  for (const auto& row : matrix) {
+    std::printf("%-22s", row.property.c_str());
+    for (const auto& res : row.results) {
+      std::printf(" %-13c", verdict_mark(res.verdict));
+    }
+    std::printf("\n");
+  }
+  rule(106);
+  std::printf(
+      "Y = preservation held over every sampled pair;  n = refuted by an explicit\n"
+      "counterexample;  ? = vacuous (no corpus support).\n\n"
+      "Paper-explicit entries reproduced: Reliability not Safe (5.1); Prioritized\n"
+      "Delivery not Asynchronous (5.2); Amoeba neither Delayable (5.3) nor Send\n"
+      "Enabled (5.4); Virtual Synchrony not Memoryless (6.1); No Replay memoryless\n"
+      "but not Composable (6.2). Properties satisfying all six are preserved by the\n"
+      "switching protocol (section 6.3).\n");
+
+  // Print one witness per refuted cell.
+  std::printf("\nCounterexample witnesses (first refutation per cell):\n");
+  for (const auto& row : matrix) {
+    for (std::size_t c = 0; c < row.results.size(); ++c) {
+      const auto& res = row.results[c];
+      if (res.verdict != MetaVerdict::kRefuted) continue;
+      std::printf("\n-- %s / %s --\n", row.property.c_str(),
+                  std::string(columns[c]).c_str());
+      std::printf("tr_below (property holds):\n%s", to_string(*res.below).c_str());
+      std::printf("tr_above (property violated):\n%s", to_string(*res.above).c_str());
+    }
+  }
+
+  // Summarize the switch-safe class.
+  std::printf("\nswitch-safe class (all six meta-properties):");
+  for (const auto& row : matrix) {
+    bool all = true;
+    for (const auto& res : row.results) {
+      if (res.verdict != MetaVerdict::kSupported) all = false;
+    }
+    if (all) std::printf(" [%s]", row.property.c_str());
+  }
+  std::printf("\n");
+
+  // Extension row: Causal Order, analyzed with the same machinery.
+  std::printf("\nExtension (beyond the paper's Table 1/2):\n");
+  {
+    CausalOrderProperty causal;
+    const auto relations = standard_relations();
+    std::printf("%-22s", "Causal Order");
+    for (const auto& rel : relations) {
+      const auto res = check_preservation(causal, *rel, corpus, rng, 32);
+      std::printf(" %-13c", verdict_mark(res.verdict));
+    }
+    const auto comp = check_composable(causal, corpus, rng);
+    std::printf(" %-13c\n", verdict_mark(comp.verdict));
+    std::printf(
+        "Causal Order fails Delayable (delaying a delivery past a send manufactures\n"
+        "causality), so it is outside the switch-safe class — yet, like Reliability,\n"
+        "the concrete SP preserves it operationally: the drain means no new-protocol\n"
+        "message is delivered before every old-protocol message (tests/test_causal).\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace msw::bench
+
+int main() { return msw::bench::run(); }

@@ -1,0 +1,123 @@
+// E7 — section 8 (future work): switching at a virtually-synchronous view
+// change supports the Virtual Synchrony property; the token-based SP does
+// not, but never blocks senders. This bench contrasts the two mechanisms
+// on the same workload:
+//   - switch completion time,
+//   - whether senders were blocked (and for how many sends),
+//   - Virtual Synchrony on the application trace (the vsync switch
+//     delivers real view markers; every member must agree on the epoch
+//     contents).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "calibration.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+#include "switch/vsync_switch.hpp"
+#include "trace/properties.hpp"
+
+namespace msw::bench {
+namespace {
+
+struct MechanismRow {
+  const char* name;
+  double switch_ms;
+  std::uint64_t blocked_sends;
+  bool vsync_holds;
+  bool total_order_holds;
+  std::uint64_t delivered;
+};
+
+MechanismRow run_sp() {
+  Simulation sim(kSeed);
+  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+  HybridConfig cfg;
+  cfg.sequencer = sequencer_config();
+  cfg.token = token_config();
+  Group group(sim, net, 6, make_hybrid_total_order_factory(cfg));
+  group.start();
+  Rng rng = sim.fork_rng();
+  for (int k = 0; k < 150; ++k) {
+    const std::size_t sender = rng.index(6);
+    sim.scheduler().at(k * 6 * kMillisecond, [&group, sender, k] {
+      group.send(sender, to_bytes("sp" + std::to_string(k)));
+    });
+  }
+  sim.scheduler().at(300 * kMillisecond,
+                     [&group] { switch_layer_of(group.stack(0)).request_switch(); });
+  sim.run_until(15 * kSecond);
+
+  MechanismRow row{};
+  row.name = "SP (token, 3 rotations)";
+  row.switch_ms = to_ms(switch_layer_of(group.stack(0)).stats().last_switch_duration);
+  row.blocked_sends = 0;  // SP never blocks senders
+  row.vsync_holds = VirtualSynchronyProperty().holds(group.trace());
+  row.total_order_holds = TotalOrderProperty().holds(group.trace());
+  row.delivered = group.total_delivered();
+  return row;
+}
+
+MechanismRow run_vsync() {
+  Simulation sim(kSeed);
+  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+  Group group(sim, net, 6,
+              make_vsync_switch_factory(make_sequencer_factory(sequencer_config()),
+                                        make_token_factory(token_config())));
+  group.start();
+  Rng rng = sim.fork_rng();
+  for (int k = 0; k < 150; ++k) {
+    const std::size_t sender = rng.index(6);
+    sim.scheduler().at(k * 6 * kMillisecond, [&group, sender, k] {
+      group.send(sender, to_bytes("vs" + std::to_string(k)));
+    });
+  }
+  std::uint64_t blocked = 0;
+  sim.scheduler().at(300 * kMillisecond,
+                     [&group] { vsync_switch_layer_of(group.stack(0)).request_switch(); });
+  // Sample blocked sends while the flush runs.
+  for (int t = 300; t < 800; t += 2) {
+    sim.scheduler().at(t * kMillisecond, [&group, &blocked] {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        blocked = std::max(blocked, static_cast<std::uint64_t>(
+                                        vsync_switch_layer_of(group.stack(i)).blocked_sends()));
+      }
+    });
+  }
+  sim.run_until(15 * kSecond);
+
+  MechanismRow row{};
+  row.name = "vsync view change";
+  row.switch_ms = to_ms(vsync_switch_layer_of(group.stack(0)).stats().last_switch_duration);
+  row.blocked_sends = blocked;
+  row.vsync_holds = VirtualSynchronyProperty().holds(group.trace());
+  row.total_order_holds = TotalOrderProperty().holds(group.trace());
+  row.delivered = group.total_delivered();
+  return row;
+}
+
+int run() {
+  title("Section 8 — switching mechanisms: SP token ring vs. vsync view change");
+  note("6 members, 150 messages over ~0.9 s, one switch at t=300 ms");
+  std::printf("\n%-26s %12s %14s %12s %12s %10s\n", "mechanism", "switch(ms)",
+              "blockedSends", "VS holds", "TO holds", "delivered");
+  rule(92);
+  for (const auto& row : {run_sp(), run_vsync()}) {
+    std::printf("%-26s %12.2f %14llu %12s %12s %10llu\n", row.name, row.switch_ms,
+                static_cast<unsigned long long>(row.blocked_sends),
+                row.vsync_holds ? "yes" : "NO", row.total_order_holds ? "yes" : "NO",
+                static_cast<unsigned long long>(row.delivered));
+  }
+  rule(92);
+  std::printf(
+      "SP's trace carries no view structure at all (Virtual Synchrony holds only\n"
+      "vacuously) and never blocks a sender; the vsync mechanism delivers genuine\n"
+      "view markers, preserves Virtual Synchrony across the protocol swap, and pays\n"
+      "for it by blocking senders during the flush — the trade-off the paper's\n"
+      "future-work section describes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msw::bench
+
+int main() { return msw::bench::run(); }

@@ -1,0 +1,90 @@
+// The paper's "Performance" use case (sections 1 and 7): an adaptive
+// total-order protocol that always runs the best algorithm for the current
+// load. A hysteresis oracle watches the number of active senders and
+// switches between the sequencer (best at low load) and the token ring
+// (best at high load) as a day-in-the-life load pattern plays out.
+//
+//   build/examples/adaptive_total_order
+#include <cstdio>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "sim/simulation.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+
+using namespace msw;
+
+namespace {
+
+NetConfig era_network() {
+  NetConfig cfg;
+  cfg.cpu_send = 250;
+  cfg.cpu_recv = 250;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  Simulation sim(11);
+  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+
+  HybridConfig cfg;
+  cfg.sequencer.order_cost = 2450;  // the sequencer's serial bottleneck
+  cfg.token.token_process_cost = 300;
+  cfg.sp.sender_window = 500 * kMillisecond;
+  cfg.oracle = [](NodeId) { return std::make_unique<HysteresisOracle>(3, 6, kSecond); };
+  Group group(sim, net, 10, make_hybrid_total_order_factory(cfg));
+  group.start();
+
+  // A load pattern: quiet morning (2 senders), busy midday (8 senders),
+  // quiet evening (2 senders). Each phase lasts 8 simulated seconds.
+  struct Phase {
+    const char* name;
+    std::size_t senders;
+  };
+  const std::vector<Phase> phases = {{"quiet morning", 2}, {"busy midday", 8},
+                                     {"quiet evening", 2}};
+
+  Rng rng = sim.fork_rng();
+  const Duration phase_len = 8 * kSecond;
+  const auto interval = static_cast<Duration>(1e6 / 50.0);
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const Time begin = static_cast<Time>(p) * phase_len;
+    for (std::size_t s = 0; s < phases[p].senders; ++s) {
+      Time t = begin + static_cast<Duration>(rng.below(static_cast<std::uint64_t>(interval)));
+      while (t < begin + phase_len) {
+        sim.scheduler().at(t, [&group, s] { group.send(s, Bytes(64, 'a')); });
+        t += std::max<Duration>(
+            1, static_cast<Duration>(rng.exponential(static_cast<double>(interval))));
+      }
+    }
+  }
+
+  std::printf("%-10s %-16s %-12s %-10s %s\n", "t(s)", "phase", "protocol", "epoch",
+              "mean latency so far (ms)");
+  Time window_start = 0;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    for (int tick = 1; tick <= 4; ++tick) {
+      const Time t = static_cast<Time>(p) * phase_len + tick * phase_len / 4;
+      sim.run_until(t);
+      auto& sp = switch_layer_of(group.stack(0));
+      const auto tl = trace_latency(group.trace(), window_start, sim.now(), group.size());
+      std::printf("%-10.1f %-16s %-12s %-10llu %.2f\n", to_sec(sim.now()), phases[p].name,
+                  sp.active_protocol() == 0 ? "sequencer" : "token",
+                  static_cast<unsigned long long>(sp.epoch()), tl.latency_ms.mean());
+    }
+    window_start = sim.now();
+  }
+  sim.run_for(10 * kSecond);  // drain
+
+  auto& sp = switch_layer_of(group.stack(0));
+  std::printf("\nswitches completed: %llu (expected 2: up at midday, back in the evening)\n",
+              static_cast<unsigned long long>(sp.stats().switches_completed));
+  const auto total = trace_latency(group.trace(), 0, 3 * phase_len, group.size());
+  std::printf("deliveries: %zu latency samples, %llu missing — the hybrid used the cheap\n"
+              "protocol in every phase without ever stopping the application.\n",
+              total.latency_ms.count(), static_cast<unsigned long long>(total.missing_deliveries));
+  return 0;
+}

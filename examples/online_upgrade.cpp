@@ -1,0 +1,107 @@
+// The paper's "On-line Upgrading" use case (section 1): "Protocol
+// switching can be used to upgrade networking protocols at run-time
+// without having to restart applications. Even minor bug fixes may be
+// done in this way."
+//
+// Here v1 is a plain reliable-FIFO multicast stack and v2 is the upgraded
+// build of the same stack (tighter retransmission timers — a plausible bug
+// fix). The application keeps a running checksum over everything it
+// delivers; the upgrade happens mid-stream and the checksums at every
+// member agree, with no restart, no loss, and no duplicate.
+//
+//   build/examples/online_upgrade
+#include <cstdio>
+#include <vector>
+
+#include "proto/fifo_layer.hpp"
+#include "proto/reliable_layer.hpp"
+#include "sim/simulation.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+#include "trace/properties.hpp"
+#include "util/digest.hpp"
+
+using namespace msw;
+
+namespace {
+
+LayerFactory stack_v1() {
+  ReliableConfig cfg;  // v1: leisurely timers
+  cfg.nack_interval = 40 * kMillisecond;
+  cfg.heartbeat_interval = 200 * kMillisecond;
+  return [cfg](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<FifoLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>(cfg));
+    return layers;
+  };
+}
+
+LayerFactory stack_v2() {
+  ReliableConfig cfg;  // v2: the "bug fix" — much faster loss recovery
+  cfg.nack_interval = 5 * kMillisecond;
+  cfg.heartbeat_interval = 25 * kMillisecond;
+  return [cfg](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<FifoLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>(cfg));
+    return layers;
+  };
+}
+
+}  // namespace
+
+int main() {
+  Simulation sim(3);
+  NetConfig net_cfg;
+  net_cfg.loss = 0.08;  // a lossy day on the LAN: the fix matters
+  Network net(sim.scheduler(), sim.fork_rng(), net_cfg);
+
+  Group group(sim, net, 4, make_switch_factory(stack_v1(), stack_v2()));
+  group.start();
+
+  // The application: every member folds delivered bodies into a checksum.
+  // The stack is reliable FIFO (per-sender order, not total order), so the
+  // fold is commutative: members must agree on the SET of records, each
+  // applied exactly once.
+  std::vector<std::uint64_t> checksum(group.size(), 0);
+  std::vector<std::uint64_t> count(group.size(), 0);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    group.stack(i).set_on_deliver([&, i](const MsgId&, const Bytes& body) {
+      checksum[i] ^= fnv1a(body);
+      ++count[i];
+    });
+  }
+
+  // A steady application stream: 200 messages over ~2 s.
+  for (int k = 0; k < 200; ++k) {
+    sim.scheduler().at(k * 10 * kMillisecond, [&group, k] {
+      group.send(static_cast<std::size_t>(k % 4), to_bytes("record-" + std::to_string(k)));
+    });
+  }
+
+  // Ops pushes the upgrade one second in. Nobody restarts anything.
+  sim.scheduler().at(kSecond, [&group] {
+    std::printf("t=1.000 s  operator initiates the v1 -> v2 upgrade\n");
+    switch_layer_of(group.stack(0)).request_switch();
+  });
+
+  sim.run_until(30 * kSecond);
+
+  auto& sp = switch_layer_of(group.stack(0));
+  std::printf("upgrade complete: epoch=%llu (protocol v%d active)\n",
+              static_cast<unsigned long long>(sp.epoch()), sp.active_protocol() + 1);
+
+  bool agree = true;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    std::printf("  member %zu: %llu records, checksum %016llx\n", i,
+                static_cast<unsigned long long>(count[i]),
+                static_cast<unsigned long long>(checksum[i]));
+    agree = agree && count[i] == 200 && checksum[i] == checksum[0];
+  }
+  std::printf("all members delivered all 200 records exactly once: %s\n",
+              agree ? "yes" : "NO");
+  std::printf("trace satisfies No Replay (no record applied twice): %s\n",
+              NoReplayProperty().holds(group.trace()) ? "yes" : "NO");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Quickstart: a group of five processes running the switching protocol
+// over two total-order protocols, one manual switch, zero message loss.
+//
+//   build/examples/quickstart
+//
+// Walks through the core API: Simulation -> Network -> Group(factory) ->
+// send / on_deliver -> request_switch -> inspect the captured trace.
+#include <cstdio>
+
+#include "sim/simulation.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+#include "trace/properties.hpp"
+
+using namespace msw;
+
+int main() {
+  // 1. A deterministic simulation and a 1990s-style LAN.
+  Simulation sim(/*seed=*/7);
+  NetConfig net_cfg;  // defaults: 1 ms hops, 10 Mbit/s, per-packet CPU cost
+  Network net(sim.scheduler(), sim.fork_rng(), net_cfg);
+
+  // 2. Five processes, each running the same stack: the switching protocol
+  //    over {sequencer total order, token-ring total order}.
+  Group group(sim, net, 5, make_hybrid_total_order_factory());
+  group.start();
+
+  // 3. Deliveries arrive through a callback; every member sees the same
+  //    totally-ordered stream.
+  group.stack(0).set_on_deliver([&](const MsgId& id, const Bytes& body) {
+    std::printf("  [member 0, t=%6.2f ms] delivered %-8s from process %u\n",
+                to_ms(sim.now()), to_string(std::span<const Byte>(body)).c_str(), id.sender);
+  });
+
+  std::printf("phase 1: three messages on the sequencer protocol\n");
+  group.send(1, to_bytes("alpha"));
+  group.send(3, to_bytes("bravo"));
+  group.send(4, to_bytes("charlie"));
+  sim.run_for(500 * kMillisecond);
+
+  // 4. Any member may ask to switch; the SP token does the rest. The
+  //    guarantee: every process delivers all sequencer-era messages before
+  //    any token-era message, and senders are never blocked meanwhile.
+  std::printf("phase 2: member 2 requests a switch to the token protocol\n");
+  switch_layer_of(group.stack(2)).request_switch();
+  group.send(0, to_bytes("delta"));  // races with the switch — perfectly fine
+  sim.run_for(kSecond);
+
+  std::printf("phase 3: three messages on the token protocol\n");
+  group.send(2, to_bytes("echo"));
+  group.send(1, to_bytes("foxtrot"));
+  group.send(0, to_bytes("golf"));
+  sim.run_for(kSecond);
+
+  // 5. Inspect the outcome.
+  auto& sp = switch_layer_of(group.stack(0));
+  std::printf("\nepoch=%llu active protocol=%s, %llu messages delivered in total\n",
+              static_cast<unsigned long long>(sp.epoch()),
+              sp.active_protocol() == 0 ? "sequencer" : "token",
+              static_cast<unsigned long long>(group.total_delivered()));
+  std::printf("trace satisfies Total Order: %s\n",
+              TotalOrderProperty().holds(group.trace()) ? "yes" : "NO");
+  std::printf("trace satisfies No Replay:   %s\n",
+              NoReplayProperty().holds(group.trace()) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// The paper's "Security" use case (section 1): "System managers will be
+// able to increase security at run-time, for example when an intrusion
+// detection system notices unusual behavior, or when it gets close to
+// April 1st."
+//
+// The group starts on a plain (fast, unprotected) reliable multicast
+// stack. An attacker node on the same LAN can forge application messages
+// — they are delivered. When the intrusion detector fires, the group
+// switches at run-time to a protected stack (integrity MAC + encryption,
+// same reliable transport underneath). The same forgery is now rejected,
+// and an eavesdropper on the wire sees only ciphertext. No process
+// restarts; in-flight legitimate traffic is delivered exactly once.
+//
+//   build/examples/security_escalation
+#include <cstdio>
+#include <vector>
+
+#include "proto/confidentiality_layer.hpp"
+#include "proto/fifo_layer.hpp"
+#include "proto/integrity_layer.hpp"
+#include "proto/reliable_layer.hpp"
+#include "sim/simulation.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+#include "util/digest.hpp"
+
+using namespace msw;
+
+namespace {
+
+constexpr std::uint64_t kGroupKey = 0x5eC0DEull;
+
+LayerFactory plain_stack() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<FifoLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>());
+    return layers;
+  };
+}
+
+LayerFactory protected_stack() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<FifoLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>());
+    layers.push_back(std::make_unique<IntegrityLayer>(kGroupKey));
+    layers.push_back(std::make_unique<ConfidentialityLayer>(kGroupKey ^ 0xC0FFEE));
+    return layers;
+  };
+}
+
+/// Forge a wire frame for the PLAIN protocol claiming to come from
+/// `impersonated`: app header + fifo p2p-pass? No — we mimic the exact
+/// headers the plain stack would produce for a group message, which any
+/// LAN attacker can reproduce since the stack is unauthenticated.
+Bytes forge_plain_frame(std::uint32_t impersonated, std::uint64_t app_seq,
+                        std::uint64_t fifo_seq, std::uint64_t rel_seq,
+                        const std::string& text) {
+  Message m = Message::group(to_bytes(text));
+  AppHeader::push(m, AppHeader{AppHeader::Kind::kData, impersonated, app_seq});
+  // SP data header (epoch 0, the plain protocol).
+  m.push_header([&](Writer& w) {
+    w.u8(0);  // kData
+    w.u64(0);  // epoch
+    w.u32(impersonated);
+    w.u64(999);  // per-epoch seq (diagnostic only)
+  });
+  // Fifo header.
+  m.push_header([&](Writer& w) {
+    w.u8(0);  // kData
+    w.u32(impersonated);
+    w.u64(fifo_seq);
+  });
+  // Reliable header.
+  m.push_header([&](Writer& w) {
+    w.u8(0);  // kData
+    w.u32(impersonated);
+    w.u64(rel_seq);
+  });
+  // Mux channel of protocol A.
+  m.push_header([](Writer& w) { w.u16(0); });
+  return m.data;
+}
+
+}  // namespace
+
+int main() {
+  Simulation sim(13);
+  Network net(sim.scheduler(), sim.fork_rng(), NetConfig{});
+  Group group(sim, net, 4, make_switch_factory(plain_stack(), protected_stack()));
+  group.start();
+
+  const NodeId attacker = net.add_node();
+  std::vector<std::string> member0_log;
+  group.stack(0).set_on_deliver([&](const MsgId& id, const Bytes& body) {
+    member0_log.push_back("from p" + std::to_string(id.sender) + ": " +
+                          to_string(std::span<const Byte>(body)));
+  });
+
+  std::printf("phase 1: plain protocol — legitimate traffic plus a forgery\n");
+  group.send(1, to_bytes("routine report"));
+  sim.run_for(200 * kMillisecond);
+  // The attacker impersonates member 2 on the unauthenticated stack. It
+  // must pick unseen fifo/reliable sequence numbers for the spoofed origin.
+  // Member 2 has not sent anything yet, so the forgery must use its next
+  // expected sequence numbers (0) to slip through FIFO/reliability.
+  net.multicast(attacker, group.members(),
+                forge_plain_frame(group.node(2).v, 50, 0, 0, "TRANSFER ALL FUNDS"));
+  sim.run_for(300 * kMillisecond);
+  const bool forgery_landed =
+      !member0_log.empty() && member0_log.back().find("TRANSFER") != std::string::npos;
+  std::printf("  forged message delivered at member 0: %s\n", forgery_landed ? "YES" : "no");
+
+  std::printf("phase 2: intrusion detected -> switch to MAC + encryption at run-time\n");
+  switch_layer_of(group.stack(0)).request_switch();
+  sim.run_for(2 * kSecond);
+  auto& sp = switch_layer_of(group.stack(0));
+  std::printf("  now on protocol %d (epoch %llu); application never stopped\n",
+              sp.active_protocol(), static_cast<unsigned long long>(sp.epoch()));
+
+  std::printf("phase 3: the attacker tries again on the protected protocol\n");
+  const std::size_t before = member0_log.size();
+  {
+    // Same forgery idea, now against channel 1. Without the group key the
+    // attacker cannot produce a valid MAC (and cannot even produce
+    // plausible ciphertext).
+    Message m = Message::group(to_bytes("TRANSFER ALL FUNDS v2"));
+    AppHeader::push(m, AppHeader{AppHeader::Kind::kData, group.node(2).v, 51});
+    m.push_header([&](Writer& w) {
+      w.u8(0);
+      w.u64(1);
+      w.u32(group.node(2).v);
+      w.u64(999);
+    });
+    m.push_header([&](Writer& w) {  // fifo
+      w.u8(0);
+      w.u32(group.node(2).v);
+      w.u64(2);
+    });
+    m.push_header([&](Writer& w) {  // reliable
+      w.u8(0);
+      w.u32(group.node(2).v);
+      w.u64(2);
+    });
+    m.push_header([&](Writer& w) {  // integrity: tag under the WRONG key
+      w.u32(group.node(2).v);
+      w.u64(mac(0xBADBAD, group.node(2).v, m.data));
+    });
+    m.push_header([&](Writer& w) { w.u64(7); });  // bogus nonce
+    Mux::push(m, 1);
+    net.multicast(attacker, group.members(), m.data);
+  }
+  sim.run_for(500 * kMillisecond);
+  std::printf("  forged message delivered at member 0: %s\n",
+              member0_log.size() > before ? "YES" : "no");
+
+  std::printf("phase 4: legitimate traffic continues, now confidential on the wire\n");
+  group.send(1, to_bytes("quarterly secrets"));
+  sim.run_for(500 * kMillisecond);
+
+  std::printf("\nmember 0 delivery log:\n");
+  for (const auto& line : member0_log) std::printf("  %s\n", line.c_str());
+  const bool ok = forgery_landed && member0_log.size() == before + 1 &&
+                  member0_log.back().find("quarterly") != std::string::npos;
+  std::printf("\nescalation outcome: %s — the forgery that worked in phase 1 is rejected\n"
+              "after the run-time switch, while legitimate traffic flows throughout.\n",
+              ok ? "as intended" : "UNEXPECTED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#include "net/endpoint.hpp"
+
+namespace msw {
+
+Endpoint::Endpoint(Network& net, NodeId id) : net_(net), id_(id) {}
+
+Endpoint::~Endpoint() { cancel_all_timers(); }
+
+TimerId Endpoint::set_timer(Duration delay, std::function<void()> fn) {
+  const std::uint64_t tid = next_timer_++;
+  EventId ev = net_.scheduler().after(delay, [this, tid, fn = std::move(fn)]() {
+    timers_.erase(tid);
+    fn();
+  });
+  timers_.emplace(tid, ev);
+  return TimerId{tid};
+}
+
+void Endpoint::cancel_timer(TimerId id) {
+  auto it = timers_.find(id.v);
+  if (it == timers_.end()) return;
+  net_.scheduler().cancel(it->second);
+  timers_.erase(it);
+}
+
+void Endpoint::cancel_all_timers() {
+  for (auto& [tid, ev] : timers_) net_.scheduler().cancel(ev);
+  timers_.clear();
+}
+
+}  // namespace msw

@@ -1,0 +1,57 @@
+// Per-node transport handle.
+//
+// An Endpoint binds one NodeId to the Network and owns that node's timer
+// registrations. Protocol stacks talk to the network exclusively through
+// an Endpoint, which keeps the Network interface free of per-node state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/node_id.hpp"
+
+namespace msw {
+
+/// Handle for a pending timer; see Endpoint::set_timer.
+struct TimerId {
+  std::uint64_t v = 0;
+  bool valid() const { return v != 0; }
+  friend bool operator==(TimerId a, TimerId b) { return a.v == b.v; }
+};
+
+class Endpoint {
+ public:
+  Endpoint(Network& net, NodeId id);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  NodeId id() const { return id_; }
+  Network& network() { return net_; }
+  Time now() const { return net_.scheduler().now(); }
+
+  void set_handler(PacketHandler handler) { net_.set_handler(id_, std::move(handler)); }
+
+  void send(NodeId to, Bytes data) { net_.send(id_, to, std::move(data)); }
+  void multicast(const std::vector<NodeId>& to, Bytes data) {
+    net_.multicast(id_, to, std::move(data));
+  }
+
+  /// One-shot timer. The callback is dropped (not fired) if cancelled or if
+  /// the Endpoint is destroyed first.
+  TimerId set_timer(Duration delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+  void cancel_all_timers();
+
+ private:
+  Network& net_;
+  NodeId id_;
+  std::uint64_t next_timer_ = 1;
+  std::unordered_map<std::uint64_t, EventId> timers_;
+};
+
+}  // namespace msw

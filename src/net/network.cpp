@@ -1,0 +1,154 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msw {
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.v) << 32) | to.v;
+}
+
+}  // namespace
+
+Network::Network(Scheduler& sched, Rng rng, NetConfig cfg)
+    : sched_(sched), rng_(rng), cfg_(cfg) {}
+
+NodeId Network::add_node() {
+  nodes_.push_back(Node{});
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+void Network::set_handler(NodeId node, PacketHandler handler) {
+  assert(node.v < nodes_.size());
+  nodes_[node.v].handler = std::move(handler);
+}
+
+Duration Network::serialization_delay(std::size_t bytes) const {
+  if (cfg_.bandwidth_bps <= 0) return 0;
+  const auto bits = static_cast<std::int64_t>((bytes + cfg_.wire_overhead_bytes) * 8);
+  return bits * kSecond / cfg_.bandwidth_bps;
+}
+
+Duration Network::propagation(NodeId from, NodeId to) {
+  if (from == to) return cfg_.loopback_latency;
+  Duration d = cfg_.base_latency;
+  if (cfg_.jitter > 0) d += static_cast<Duration>(rng_.below(static_cast<std::uint64_t>(cfg_.jitter) + 1));
+  return d;
+}
+
+Time Network::transmit_time(NodeId from, std::size_t bytes) {
+  Node& n = nodes_[from.v];
+  // The sender's CPU is a serial resource: back-to-back sends queue.
+  const Time cpu_start = std::max(sched_.now(), n.cpu_free_at);
+  const Time cpu_done = cpu_start + cfg_.cpu_send;
+  n.cpu_free_at = cpu_done;
+  // The shared medium is likewise serial (CSMA/CD-style, without modelling
+  // collisions): the packet occupies the wire after the CPU releases it.
+  const Time wire_start = std::max(cpu_done, wire_free_at_);
+  const Time wire_done = wire_start + serialization_delay(bytes);
+  wire_free_at_ = wire_done;
+  stats_.bytes_on_wire += bytes + cfg_.wire_overhead_bytes;
+  return wire_done;
+}
+
+void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
+  sched_.at(arrive, [this, dest, p = std::move(packet)]() mutable {
+    Node& n = nodes_[dest.v];
+    if (!n.up) {
+      ++stats_.copies_dropped_node;
+      return;
+    }
+    // Receive-side CPU cost; the node works packets off serially.
+    const Time start = std::max(sched_.now(), n.cpu_free_at);
+    const Time done = start + cfg_.cpu_recv;
+    n.cpu_free_at = done;
+    sched_.at(done, [this, dest, p = std::move(p)]() mutable {
+      Node& node = nodes_[dest.v];
+      if (!node.up || !node.handler) {
+        ++stats_.copies_dropped_node;
+        return;
+      }
+      ++stats_.copies_delivered;
+      node.handler(std::move(p));
+    });
+  });
+}
+
+void Network::send(NodeId from, NodeId to, Bytes data) {
+  assert(from.v < nodes_.size() && to.v < nodes_.size());
+  if (!nodes_[from.v].up) {
+    ++stats_.copies_dropped_node;
+    return;
+  }
+  ++stats_.unicasts_sent;
+  const Time on_wire = transmit_time(from, data.size());
+  if (!link_up(from, to)) {
+    ++stats_.copies_dropped_link;
+    return;
+  }
+  if (from != to && rng_.chance(cfg_.loss)) {
+    ++stats_.copies_dropped_loss;
+    return;
+  }
+  deliver_copy(to, Packet{from, std::move(data)}, on_wire + propagation(from, to));
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& to, Bytes data) {
+  assert(from.v < nodes_.size());
+  if (!nodes_[from.v].up) {
+    ++stats_.copies_dropped_node;
+    return;
+  }
+  ++stats_.multicasts_sent;
+  // One serialization regardless of fan-out: hardware multicast.
+  const Time on_wire = transmit_time(from, data.size());
+  for (NodeId dest : to) {
+    assert(dest.v < nodes_.size());
+    if (!link_up(from, dest)) {
+      ++stats_.copies_dropped_link;
+      continue;
+    }
+    if (from != dest && rng_.chance(cfg_.loss)) {
+      ++stats_.copies_dropped_loss;
+      continue;
+    }
+    deliver_copy(dest, Packet{from, data}, on_wire + propagation(from, dest));
+  }
+}
+
+void Network::set_link_up(NodeId from, NodeId to, bool up) {
+  const auto key = link_key(from, to);
+  auto it = std::find(down_links_.begin(), down_links_.end(), key);
+  if (up) {
+    if (it != down_links_.end()) down_links_.erase(it);
+  } else {
+    if (it == down_links_.end()) down_links_.push_back(key);
+  }
+}
+
+bool Network::link_up(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  return std::find(down_links_.begin(), down_links_.end(), link_key(from, to)) ==
+         down_links_.end();
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  assert(node.v < nodes_.size());
+  nodes_[node.v].up = up;
+}
+
+bool Network::node_up(NodeId node) const {
+  assert(node.v < nodes_.size());
+  return nodes_[node.v].up;
+}
+
+void Network::consume_cpu(NodeId node, Duration d) {
+  assert(node.v < nodes_.size());
+  if (d <= 0) return;
+  Node& n = nodes_[node.v];
+  n.cpu_free_at = std::max(sched_.now(), n.cpu_free_at) + d;
+}
+
+}  // namespace msw

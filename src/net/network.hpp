@@ -1,0 +1,128 @@
+// Simulated LAN.
+//
+// Models the paper's testbed (SparcStation-20s on a 10 Mbit Ethernet):
+//   - per-hop propagation latency with uniform jitter,
+//   - a shared-medium serialization delay proportional to packet size,
+//   - hardware multicast: one transmission reaches every destination,
+//   - per-node CPU cost for sending and receiving; the CPU is a serial
+//     resource, so a busy node (e.g. the sequencer under load) queues work
+//     and exhibits the queueing delay that drives Figure 2,
+//   - independent per-destination packet loss,
+//   - link up/down control for partition experiments.
+//
+// All delays are deterministic functions of the seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "net/stats.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+/// A datagram in flight. `src` is trustworthy in the simulator (the network
+/// stamps it); protocols must not rely on it for *authenticated* identity —
+/// that is what the integrity layer is for.
+struct Packet {
+  NodeId src;
+  Bytes data;
+};
+
+struct NetConfig {
+  /// One-way propagation latency between distinct nodes.
+  Duration base_latency = 1 * kMillisecond;
+  /// Additional uniform jitter in [0, jitter] per destination.
+  Duration jitter = 100 * kMicrosecond;
+  /// Latency for a node's own copy of its multicast (kernel loopback).
+  Duration loopback_latency = 20 * kMicrosecond;
+  /// Shared-medium bandwidth; serialization delay = bits / bandwidth.
+  std::int64_t bandwidth_bps = 10'000'000;
+  /// Fixed per-packet wire overhead (headers, framing) added to size.
+  std::size_t wire_overhead_bytes = 64;
+  /// CPU cost to hand one packet to the network (per send/multicast call).
+  Duration cpu_send = 300 * kMicrosecond;
+  /// CPU cost to process one received packet before the stack sees it.
+  Duration cpu_recv = 300 * kMicrosecond;
+  /// Independent per-destination drop probability (loopback never drops).
+  double loss = 0.0;
+};
+
+/// Receiver callback installed per node.
+using PacketHandler = std::function<void(Packet)>;
+
+class Network {
+ public:
+  Network(Scheduler& sched, Rng rng, NetConfig cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a new node; ids are dense and creation-ordered.
+  NodeId add_node();
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Install the receive callback for a node (required before traffic).
+  void set_handler(NodeId node, PacketHandler handler);
+
+  /// Point-to-point datagram. Sending to self uses the loopback path.
+  void send(NodeId from, NodeId to, Bytes data);
+
+  /// Hardware multicast: one serialization on the wire, every destination
+  /// (including `from` itself, if listed) receives a copy.
+  void multicast(NodeId from, const std::vector<NodeId>& to, Bytes data);
+
+  /// Partition control. Both directions are affected independently.
+  void set_link_up(NodeId from, NodeId to, bool up);
+  bool link_up(NodeId from, NodeId to) const;
+
+  /// Crash a node: it stops receiving and its sends are discarded.
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const;
+
+  /// Occupy the node's CPU for `d` starting now (protocol processing such
+  /// as the sequencer's ordering work). Subsequent sends and receive
+  /// processing at this node queue behind it.
+  void consume_cpu(NodeId node, Duration d);
+
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+  const NetConfig& config() const { return cfg_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct Node {
+    PacketHandler handler;
+    Time cpu_free_at = 0;
+    bool up = true;
+  };
+
+  /// Reserve the sender's CPU + the shared wire; returns the time the
+  /// packet is on the wire.
+  Time transmit_time(NodeId from, std::size_t bytes);
+
+  /// Schedule delivery of a copy at `dest` arriving at `arrive`.
+  void deliver_copy(NodeId dest, Packet packet, Time arrive);
+
+  Duration serialization_delay(std::size_t bytes) const;
+  Duration propagation(NodeId from, NodeId to);
+
+  Scheduler& sched_;
+  Rng rng_;
+  NetConfig cfg_;
+  std::vector<Node> nodes_;
+  Time wire_free_at_ = 0;
+  NetStats stats_;
+  // Sparse set of down links, keyed (from << 32 | to).
+  std::vector<std::uint64_t> down_links_;
+};
+
+}  // namespace msw

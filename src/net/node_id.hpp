@@ -1,0 +1,29 @@
+// Strongly-typed process/node identifier.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace msw {
+
+/// Identifies a simulated node (== a group member / process). Values are
+/// dense indices assigned by the Network in creation order, which lets
+/// components index per-node arrays directly.
+struct NodeId {
+  std::uint32_t v = 0;
+
+  auto operator<=>(const NodeId&) const = default;
+};
+
+inline std::string to_string(NodeId id) { return "n" + std::to_string(id.v); }
+
+}  // namespace msw
+
+template <>
+struct std::hash<msw::NodeId> {
+  std::size_t operator()(const msw::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};

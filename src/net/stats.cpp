@@ -1,0 +1,71 @@
+#include "net/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace msw {
+
+std::string NetStats::summary() const {
+  std::ostringstream os;
+  os << "unicasts=" << unicasts_sent << " multicasts=" << multicasts_sent
+     << " delivered=" << copies_delivered << " dropped(loss/link/node)=" << copies_dropped_loss
+     << "/" << copies_dropped_link << "/" << copies_dropped_node << " bytes=" << bytes_on_wire;
+  return os.str();
+}
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  dirty_ = true;
+}
+
+void Summary::clear() {
+  samples_.clear();
+  sorted_.clear();
+  dirty_ = false;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+void Summary::ensure_sorted() const {
+  if (dirty_ || sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,48 @@
+// Network counters and a small statistical summary helper used by the
+// benchmark harness (mean / percentiles of latency samples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msw {
+
+struct NetStats {
+  std::uint64_t unicasts_sent = 0;
+  std::uint64_t multicasts_sent = 0;
+  std::uint64_t copies_delivered = 0;
+  std::uint64_t copies_dropped_loss = 0;
+  std::uint64_t copies_dropped_link = 0;
+  std::uint64_t copies_dropped_node = 0;
+  std::uint64_t bytes_on_wire = 0;
+
+  void reset() { *this = NetStats{}; }
+  std::string summary() const;
+};
+
+/// Accumulates double-valued samples; computes order statistics on demand.
+class Summary {
+ public:
+  void add(double v);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace msw

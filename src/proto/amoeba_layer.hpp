@@ -1,0 +1,42 @@
+// The "Amoeba" property (Table 1): a process is blocked from sending while
+// it is awaiting its own messages.
+//
+// The layer enforces the restriction by queueing: at most one of this
+// process's messages is outstanding below this layer at a time; the next
+// queued message is released only when the previous one has been delivered
+// back to this process. Cooperative applications can poll ready() to avoid
+// submitting while blocked, which makes the application-boundary trace
+// satisfy the property too (see the switching demo, where two independent
+// layer instances beneath a switch visibly break it — the paper's example
+// of a property that is neither Delayable nor Send Enabled, section 5.3/5.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "stack/layer.hpp"
+
+namespace msw {
+
+class AmoebaLayer : public Layer {
+ public:
+  std::string_view name() const override { return "amoeba"; }
+
+  void down(Message m) override;
+  void up(Message m) override;
+
+  /// True when a send submitted now would go out immediately (nothing of
+  /// ours outstanding and nothing queued).
+  bool ready() const { return !awaiting_ && queued_.empty(); }
+
+  std::size_t queued() const { return queued_.size(); }
+
+ private:
+  void release(Message m);
+
+  bool awaiting_ = false;
+  std::uint64_t next_aseq_ = 0;
+  std::deque<Message> queued_;
+};
+
+}  // namespace msw

@@ -1,0 +1,28 @@
+#include "proto/confidentiality_layer.hpp"
+
+#include "util/digest.hpp"
+
+namespace msw {
+
+void ConfidentialityLayer::down(Message m) {
+  // Nonce = (sender id, counter): unique per message so identical
+  // plaintexts produce different ciphertexts.
+  const std::uint64_t nonce =
+      (static_cast<std::uint64_t>(ctx().self().v) << 40) | next_nonce_++;
+  stream_crypt(key_, nonce, std::span<Byte>(m.data));
+  m.push_header([&](Writer& w) { w.u64(nonce); });
+  ctx().send_down(std::move(m));
+}
+
+void ConfidentialityLayer::up(Message m) {
+  std::uint64_t nonce = 0;
+  try {
+    m.pop_header([&](Reader& r) { nonce = r.u64(); });
+  } catch (const DecodeError&) {
+    return;  // not one of ours
+  }
+  stream_crypt(key_, nonce, std::span<Byte>(m.data));
+  ctx().deliver_up(std::move(m));
+}
+
+}  // namespace msw

@@ -1,0 +1,33 @@
+// Confidentiality (Table 1): non-trusted processes cannot see messages
+// from trusted processes.
+//
+// Trusted processes share a group key; the layer encrypts the entire
+// payload (body plus all upper-layer headers) under a per-message nonce on
+// the way down and decrypts on the way up. A process without the key sees
+// only ciphertext; a message that fails to decrypt into a well-formed
+// upper stack is discarded by the layers above. The cipher is simulated
+// (util/digest.hpp); the property depends only on key-holders-only
+// reversibility.
+#pragma once
+
+#include <cstdint>
+
+#include "stack/layer.hpp"
+
+namespace msw {
+
+class ConfidentialityLayer : public Layer {
+ public:
+  explicit ConfidentialityLayer(std::uint64_t group_key) : key_(group_key) {}
+
+  std::string_view name() const override { return "confidentiality"; }
+
+  void down(Message m) override;
+  void up(Message m) override;
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t next_nonce_ = 0;
+};
+
+}  // namespace msw

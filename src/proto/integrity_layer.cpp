@@ -1,0 +1,41 @@
+#include "proto/integrity_layer.hpp"
+
+#include "util/digest.hpp"
+#include "util/log.hpp"
+
+namespace msw {
+
+void IntegrityLayer::down(Message m) {
+  const std::uint32_t sender = ctx().self().v;
+  const std::uint64_t tag = mac(key_, sender, m.data);
+  m.push_header([&](Writer& w) {
+    w.u32(sender);
+    w.u64(tag);
+  });
+  ctx().send_down(std::move(m));
+}
+
+void IntegrityLayer::up(Message m) {
+  std::uint32_t claimed_sender = 0;
+  std::uint64_t tag = 0;
+  try {
+    m.pop_header([&](Reader& r) {
+      claimed_sender = r.u32();
+      tag = r.u64();
+    });
+  } catch (const DecodeError&) {
+    ++stats_.rejected;
+    return;
+  }
+  if (mac(key_, claimed_sender, m.data) != tag) {
+    ++stats_.rejected;
+    MSW_LOG(kDebug, "integrity", ctx().now())
+        << to_string(ctx().self()) << " rejected forged message (claimed sender "
+        << claimed_sender << ")";
+    return;
+  }
+  ++stats_.accepted;
+  ctx().deliver_up(std::move(m));
+}
+
+}  // namespace msw

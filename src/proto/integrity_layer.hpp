@@ -1,0 +1,39 @@
+// Integrity (Table 1): messages cannot be forged; delivered messages were
+// sent by trusted processes.
+//
+// Trusted processes share a group key. On the way down the layer appends a
+// MAC binding the payload to the sender's identity; on the way up it
+// verifies the MAC against the *claimed* sender and silently drops
+// messages that fail — whether corrupted, forged by a non-key-holder, or
+// carrying a spoofed sender id. The MAC is simulated (util/digest.hpp);
+// the property depends only on unforgeability-by-non-key-holders, which
+// the keyed digest provides against the simulator's adversaries.
+#pragma once
+
+#include <cstdint>
+
+#include "stack/layer.hpp"
+
+namespace msw {
+
+class IntegrityLayer : public Layer {
+ public:
+  explicit IntegrityLayer(std::uint64_t group_key) : key_(group_key) {}
+
+  std::string_view name() const override { return "integrity"; }
+
+  void down(Message m) override;
+  void up(Message m) override;
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t key_;
+  Stats stats_;
+};
+
+}  // namespace msw

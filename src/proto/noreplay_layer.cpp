@@ -1,0 +1,16 @@
+#include "proto/noreplay_layer.hpp"
+
+#include "util/digest.hpp"
+
+namespace msw {
+
+void NoReplayLayer::up(Message m) {
+  const std::uint64_t digest = fnv1a(m.data);
+  if (!seen_.insert(digest).second) {
+    ++replays_dropped_;
+    return;
+  }
+  ctx().deliver_up(std::move(m));
+}
+
+}  // namespace msw

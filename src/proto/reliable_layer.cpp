@@ -1,0 +1,319 @@
+#include "proto/reliable_layer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace msw {
+namespace {
+
+enum class Type : std::uint8_t {
+  kData = 0,
+  kPass = 1,
+  kNack = 2,
+  kHeartbeat = 3,
+  kAck = 4,
+  kAckVec = 5,
+};
+
+/// Cap on missing sequences requested per NACK round, to bound control
+/// traffic after long partitions.
+constexpr std::size_t kMaxNackBatch = 64;
+
+}  // namespace
+
+void ReliableLayer::start() {
+  ctx().set_timer(cfg_.nack_interval, [this] { send_nacks(); });
+  ctx().set_timer(cfg_.heartbeat_interval, [this] { send_heartbeat(); });
+  ctx().set_timer(cfg_.ack_interval, [this] { send_acks(); });
+}
+
+void ReliableLayer::down(Message m) {
+  if (m.is_p2p()) {
+    m.push_header([](Writer& w) { w.u8(static_cast<std::uint8_t>(Type::kPass)); });
+    ctx().send_down(std::move(m));
+    return;
+  }
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t origin = ctx().self().v;
+  m.push_header([&](Writer& w) {
+    w.u8(static_cast<std::uint8_t>(Type::kData));
+    w.u32(origin);
+    w.u64(seq);
+  });
+  sent_buffer_.emplace(seq, m.data);  // copy retained for retransmission
+  ctx().send_down(std::move(m));
+}
+
+void ReliableLayer::up(Message m) {
+  // peer_assist needs the wire form (header included) to store for peers.
+  Bytes wire_copy;
+  if (cfg_.peer_assist) wire_copy = m.data;
+
+  Type type{};
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> nack_seqs;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ack_vec;
+  m.pop_header([&](Reader& r) {
+    type = static_cast<Type>(r.u8());
+    switch (type) {
+      case Type::kData:
+        origin = r.u32();
+        seq = r.u64();
+        break;
+      case Type::kPass:
+        break;
+      case Type::kNack: {
+        origin = r.u32();
+        const std::uint32_t count = r.u32();
+        nack_seqs.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) nack_seqs.push_back(r.u64());
+        break;
+      }
+      case Type::kHeartbeat:
+        origin = r.u32();
+        seq = r.u64();
+        break;
+      case Type::kAck:
+        origin = r.u32();
+        seq = r.u64();
+        break;
+      case Type::kAckVec: {
+        origin = r.u32();  // sender of the ack vector
+        const std::uint32_t count = r.u32();
+        ack_vec.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint32_t o = r.u32();
+          const std::uint64_t cum = r.u64();
+          ack_vec.emplace_back(o, cum);
+        }
+        break;
+      }
+    }
+  });
+  switch (type) {
+    case Type::kData:
+      on_data(origin, seq, std::move(m), wire_copy);
+      break;
+    case Type::kPass:
+      ctx().deliver_up(std::move(m));
+      break;
+    case Type::kNack:
+      on_nack(m.wire_src, origin, nack_seqs);
+      break;
+    case Type::kHeartbeat:
+      on_heartbeat(origin, seq);
+      break;
+    case Type::kAck:
+      on_ack(origin, seq);
+      break;
+    case Type::kAckVec:
+      on_ack_vector(origin, ack_vec);
+      break;
+  }
+}
+
+void ReliableLayer::on_data(std::uint32_t origin, std::uint64_t seq, Message m,
+                            const Bytes& wire_copy) {
+  OriginState& o = origins_[origin];
+  o.announced = std::max(o.announced, seq + 1);
+  if (o.received(seq)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (seq == o.contiguous) {
+    ++o.contiguous;
+    while (!o.sparse.empty() && *o.sparse.begin() == o.contiguous) {
+      o.sparse.erase(o.sparse.begin());
+      ++o.contiguous;
+    }
+  } else {
+    o.sparse.insert(seq);
+  }
+  if (cfg_.peer_assist && origin != ctx().self().v) {
+    store_[origin].emplace(seq, wire_copy);
+  }
+  ctx().deliver_up(std::move(m));
+}
+
+NodeId ReliableLayer::nack_target(std::uint32_t origin) {
+  if (!cfg_.peer_assist) return NodeId{origin};
+  // Rotate across the other members so retries reach whoever holds a copy
+  // even when the origin is gone.
+  const auto& members = ctx().members();
+  for (std::size_t tries = 0; tries < members.size(); ++tries) {
+    const NodeId candidate = members[nack_rotation_++ % members.size()];
+    if (candidate != ctx().self()) return candidate;
+  }
+  return NodeId{origin};
+}
+
+void ReliableLayer::on_nack(NodeId requester, std::uint32_t origin,
+                            const std::vector<std::uint64_t>& seqs) {
+  const bool own_stream = origin == ctx().self().v;
+  if (!own_stream && !cfg_.peer_assist) return;  // stale or misrouted
+  for (std::uint64_t seq : seqs) {
+    const Bytes* copy = nullptr;
+    if (own_stream) {
+      auto it = sent_buffer_.find(seq);
+      if (it != sent_buffer_.end()) copy = &it->second;
+    } else {
+      auto os = store_.find(origin);
+      if (os != store_.end()) {
+        auto it = os->second.find(seq);
+        if (it != os->second.end()) copy = &it->second;
+      }
+    }
+    if (copy == nullptr) continue;  // collected, or we never had it
+    ++stats_.retransmissions;
+    ctx().send_down(Message::p2p(requester, *copy));
+  }
+}
+
+void ReliableLayer::on_heartbeat(std::uint32_t origin, std::uint64_t next_seq) {
+  if (origin == ctx().self().v) return;
+  origins_[origin].announced = std::max(origins_[origin].announced, next_seq);
+}
+
+void ReliableLayer::on_ack(std::uint32_t from, std::uint64_t contiguous) {
+  auto& acked = acked_by_[from];
+  acked = std::max(acked, contiguous);
+  collect_garbage();
+}
+
+void ReliableLayer::on_ack_vector(
+    std::uint32_t from, const std::vector<std::pair<std::uint32_t, std::uint64_t>>& cums) {
+  auto& row = ack_matrix_[from];
+  for (const auto& [origin, cum] : cums) {
+    auto& cell = row[origin];
+    cell = std::max(cell, cum);
+    if (origin == ctx().self().v && from != ctx().self().v) {
+      auto& acked = acked_by_[from];
+      acked = std::max(acked, cum);
+    }
+    // A peer's contiguous prefix also advertises the stream's horizon:
+    // even if the origin is dead and we heard nothing from it, we now know
+    // what we are missing and can NACK a surviving peer for it.
+    if (origin != ctx().self().v) {
+      auto& o = origins_[origin];
+      o.announced = std::max(o.announced, cum);
+    }
+  }
+  collect_garbage();
+  collect_store_garbage();
+}
+
+void ReliableLayer::send_nacks() {
+  for (auto& [origin, o] : origins_) {
+    if (origin == ctx().self().v) continue;
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t s = o.contiguous; s < o.announced && missing.size() < kMaxNackBatch;
+         ++s) {
+      if (!o.received(s)) missing.push_back(s);
+    }
+    if (missing.empty()) continue;
+    ++stats_.nacks_sent;
+    Message m = Message::p2p(nack_target(origin), {});
+    const std::uint32_t stream = origin;
+    m.push_header([&](Writer& w) {
+      w.u8(static_cast<std::uint8_t>(Type::kNack));
+      w.u32(stream);
+      w.u32(static_cast<std::uint32_t>(missing.size()));
+      for (std::uint64_t s : missing) w.u64(s);
+    });
+    ctx().send_down(std::move(m));
+  }
+  ctx().set_timer(cfg_.nack_interval, [this] { send_nacks(); });
+}
+
+void ReliableLayer::send_heartbeat() {
+  if (next_seq_ > 0) {
+    Message m = Message::group({});
+    const std::uint32_t origin = ctx().self().v;
+    const std::uint64_t next = next_seq_;
+    m.push_header([&](Writer& w) {
+      w.u8(static_cast<std::uint8_t>(Type::kHeartbeat));
+      w.u32(origin);
+      w.u64(next);
+    });
+    ctx().send_down(std::move(m));
+  }
+  ctx().set_timer(cfg_.heartbeat_interval, [this] { send_heartbeat(); });
+}
+
+void ReliableLayer::send_acks() {
+  if (cfg_.peer_assist) {
+    // Multicast the full per-origin contiguous vector: stability becomes
+    // common knowledge, enabling store garbage collection everywhere.
+    Message m = Message::group({});
+    const std::uint32_t self = ctx().self().v;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> cums;
+    cums.emplace_back(self, next_seq_);  // our own stream, trivially held
+    for (const auto& [origin, o] : origins_) {
+      if (origin != self) cums.emplace_back(origin, o.contiguous);
+    }
+    m.push_header([&](Writer& w) {
+      w.u8(static_cast<std::uint8_t>(Type::kAckVec));
+      w.u32(self);
+      w.u32(static_cast<std::uint32_t>(cums.size()));
+      for (const auto& [origin, cum] : cums) {
+        w.u32(origin);
+        w.u64(cum);
+      }
+    });
+    ctx().send_down(std::move(m));
+  } else {
+    for (const auto& [origin, o] : origins_) {
+      if (origin == ctx().self().v) continue;
+      Message m = Message::p2p(NodeId{origin}, {});
+      const std::uint32_t self = ctx().self().v;
+      const std::uint64_t contiguous = o.contiguous;
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(Type::kAck));
+        w.u32(self);
+        w.u64(contiguous);
+      });
+      ctx().send_down(std::move(m));
+    }
+  }
+  ctx().set_timer(cfg_.ack_interval, [this] { send_acks(); });
+}
+
+void ReliableLayer::collect_garbage() {
+  // A copy may be dropped once every *other* member has acknowledged a
+  // contiguous prefix covering it (we trivially have our own messages).
+  if (acked_by_.size() + 1 < ctx().member_count()) return;
+  std::uint64_t min_acked = next_seq_;
+  for (const auto& [member, acked] : acked_by_) min_acked = std::min(min_acked, acked);
+  while (!sent_buffer_.empty() && sent_buffer_.begin()->first < min_acked) {
+    sent_buffer_.erase(sent_buffer_.begin());
+  }
+}
+
+void ReliableLayer::collect_store_garbage() {
+  // Drop a peer copy of origin o's message once every member's ack row
+  // covers it. Members whose row we have not seen yet block collection.
+  if (ack_matrix_.size() < ctx().member_count()) return;
+  for (auto& [origin, copies] : store_) {
+    std::uint64_t min_cum = ~std::uint64_t{0};
+    for (const auto& member : ctx().members()) {
+      const auto row = ack_matrix_.find(member.v);
+      if (row == ack_matrix_.end()) return;
+      const auto cell = row->second.find(origin);
+      min_cum = std::min(min_cum, cell == row->second.end() ? 0 : cell->second);
+    }
+    while (!copies.empty() && copies.begin()->first < min_cum) {
+      copies.erase(copies.begin());
+    }
+  }
+}
+
+ReliableLayer::Stats ReliableLayer::stats() const {
+  Stats s = stats_;
+  s.buffered_copies = sent_buffer_.size();
+  for (const auto& [origin, copies] : store_) s.buffered_copies += copies.size();
+  return s;
+}
+
+}  // namespace msw

@@ -1,0 +1,107 @@
+// NACK-based reliable multicast.
+//
+// Guarantees that every group multicast submitted above is eventually
+// delivered above at every member, assuming a fair-lossy network (every
+// retransmission has an independent chance of arriving). Mechanism:
+//
+//   - the sender stamps (origin, seq), multicasts, and buffers a copy;
+//   - receivers track per-origin reception; a sequence gap triggers a
+//     point-to-point NACK to the origin, repeated on a timer while the gap
+//     persists; the origin retransmits point-to-point;
+//   - senders periodically multicast a HEARTBEAT advertising their highest
+//     sequence so that a lost *final* message (no later message to expose
+//     the gap) is still detected;
+//   - receivers periodically ACK their contiguous prefix to each origin,
+//     and origins garbage-collect buffered copies acknowledged by all.
+//
+// Delivery above is unordered (dedup only); compose FifoLayer above for
+// per-sender order. Point-to-point traffic of layers above passes through
+// without reliability (such layers handle their own retransmission).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "stack/layer.hpp"
+
+namespace msw {
+
+struct ReliableConfig {
+  Duration nack_interval = 10 * kMillisecond;
+  Duration heartbeat_interval = 50 * kMillisecond;
+  Duration ack_interval = 100 * kMillisecond;
+  /// SRM-style peer-assisted recovery: every member retains copies of
+  /// *delivered* messages (all origins) until group-wide stability, acks
+  /// are multicast so stability is common knowledge, and NACKs are sent to
+  /// a rotating peer instead of the origin — so a message survives the
+  /// crash of its sender as long as one member delivered it. Required
+  /// underneath crash-tolerant membership (VsyncLayer flush exclusion).
+  bool peer_assist = false;
+};
+
+class ReliableLayer : public Layer {
+ public:
+  ReliableLayer() = default;
+  explicit ReliableLayer(ReliableConfig cfg) : cfg_(cfg) {}
+
+  std::string_view name() const override { return "reliable"; }
+
+  void start() override;
+  void down(Message m) override;
+  void up(Message m) override;
+
+  struct Stats {
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t buffered_copies = 0;  // currently held for retransmission
+  };
+  Stats stats() const;
+
+ private:
+  struct OriginState {
+    // Reception tracking: [0, contiguous) all received; `sparse` beyond.
+    std::uint64_t contiguous = 0;
+    std::set<std::uint64_t> sparse;
+    // Highest sequence this origin is known to have sent (from data or
+    // heartbeats); exclusive upper bound for gap detection.
+    std::uint64_t announced = 0;
+
+    bool received(std::uint64_t seq) const {
+      return seq < contiguous || sparse.count(seq) > 0;
+    }
+  };
+
+  void on_data(std::uint32_t origin, std::uint64_t seq, Message m, const Bytes& wire_copy);
+  void on_nack(NodeId requester, std::uint32_t origin, const std::vector<std::uint64_t>& seqs);
+  void on_heartbeat(std::uint32_t origin, std::uint64_t next_seq);
+  void on_ack(std::uint32_t from, std::uint64_t contiguous);
+  void on_ack_vector(std::uint32_t from,
+                     const std::vector<std::pair<std::uint32_t, std::uint64_t>>& cums);
+
+  void send_nacks();
+  void send_heartbeat();
+  void send_acks();
+  void collect_garbage();
+  void collect_store_garbage();
+  NodeId nack_target(std::uint32_t origin);
+
+  ReliableConfig cfg_;
+  std::uint64_t next_seq_ = 0;
+  // Copies of our own multicasts, kept until every member has acked.
+  std::map<std::uint64_t, Bytes> sent_buffer_;
+  // Per-member contiguous ack for our stream (indexed by member order).
+  std::unordered_map<std::uint32_t, std::uint64_t> acked_by_;
+  std::unordered_map<std::uint32_t, OriginState> origins_;
+  // peer_assist: copies of everyone's delivered messages until stability,
+  // and the full ack matrix member -> origin -> contiguous.
+  std::map<std::uint32_t, std::map<std::uint64_t, Bytes>> store_;
+  std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>> ack_matrix_;
+  std::size_t nack_rotation_ = 0;
+  Stats stats_;
+};
+
+}  // namespace msw

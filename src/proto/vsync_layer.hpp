@@ -1,0 +1,124 @@
+// Virtual Synchrony (Table 1): a process only delivers messages from
+// processes in some common view, and processes that move together from one
+// view to the next deliver the same set of messages in between.
+//
+// This is a deliberately simplified, coordinator-driven membership layer
+// in the style of the Horus/Ensemble membership protocols:
+//
+//   - the first group member is the coordinator; views are logical member
+//     lists layered over the (static) simulated group;
+//   - data messages are tagged with the view they were sent in and are
+//     delivered only within that view (future-view messages are buffered,
+//     past-view messages dropped);
+//   - a view change runs a flush: FLUSH_REQ blocks sending everywhere and
+//     collects per-member sent counts; the coordinator disseminates the
+//     resulting CUT; members deliver exactly the cut's messages, then
+//     install the view, delivering a view *notification message* to the
+//     application (AppHeader kind kView) — view markers in captured traces
+//     are exactly these deliveries;
+//   - queued sends are released in the new view.
+//
+// Compose above a reliable layer: the flush relies on every counted
+// message eventually arriving. The paper notes Virtual Synchrony is not
+// Memoryless and hence NOT preserved by the switching protocol — but a
+// flush like this one can itself implement switching while preserving it
+// (section 8 future work; see switch/vsync_switch.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "stack/layer.hpp"
+
+namespace msw {
+
+/// Encoding of a view notification's body (shared with applications).
+Bytes encode_view_body(const std::vector<std::uint32_t>& members);
+std::vector<std::uint32_t> decode_view_body(const Bytes& body);
+
+struct VsyncConfig {
+  /// 0: the flush waits for every member (a crashed member wedges the view
+  /// change — the original behaviour). >0: the coordinator excludes
+  /// members that have not replied within this timeout; the cut for an
+  /// excluded member's stream is the maximum any survivor has delivered,
+  /// recovered where needed through peer-assisted retransmission (compose
+  /// above ReliableLayer with peer_assist = true).
+  Duration flush_timeout = 0;
+};
+
+class VsyncLayer : public Layer {
+ public:
+  VsyncLayer() = default;
+  explicit VsyncLayer(VsyncConfig cfg) : cfg_(cfg) {}
+
+  std::string_view name() const override { return "vsync"; }
+
+  void start() override;
+  void down(Message m) override;
+  void up(Message m) override;
+
+  /// Coordinator-only API: install a new logical view after a flush.
+  /// Returns false if a view change is already in progress or this member
+  /// is not the coordinator.
+  bool request_view_change(std::vector<std::uint32_t> new_members);
+
+  std::uint64_t current_view() const { return view_id_; }
+  const std::vector<std::uint32_t>& view_members() const { return view_members_; }
+  bool flushing() const { return flushing_; }
+
+ private:
+  bool is_coordinator() const { return ctx().self() == ctx().members().front(); }
+
+  void on_data(std::uint64_t view_id, std::uint32_t origin, Message m);
+  void deliver_counted(std::uint32_t origin, Message m);
+  void on_flush_req(std::uint64_t new_view_id, std::vector<std::uint32_t> new_members);
+  void on_flush_ok(std::uint64_t new_view_id, std::uint32_t from, std::uint64_t sent,
+                   std::map<std::uint32_t, std::uint64_t> delivered);
+  void on_cut(std::uint64_t new_view_id, std::vector<std::uint32_t> final_members,
+              std::map<std::uint32_t, std::uint64_t> counts);
+  void send_cut();
+  void maybe_install_view();
+  void install_view();
+
+  VsyncConfig cfg_;
+  std::uint64_t view_id_ = 1;
+  std::vector<std::uint32_t> view_members_;
+
+  // Sender side.
+  std::uint64_t sent_in_view_ = 0;
+  std::deque<Message> queued_;
+
+  // Receiver side.
+  struct FutureMsg {
+    std::uint64_t view_id;
+    std::uint32_t origin;
+    Message m;
+  };
+  std::unordered_map<std::uint32_t, std::uint64_t> delivered_in_view_;
+  std::vector<FutureMsg> future_;
+
+  // Flush state.
+  bool flushing_ = false;
+  std::uint64_t pending_view_id_ = 0;
+  std::vector<std::uint32_t> pending_members_;
+  bool have_cut_ = false;
+  std::map<std::uint32_t, std::uint64_t> cut_counts_;
+  std::vector<std::uint32_t> cut_members_;
+  // Data received after our FLUSH_OK but before the CUT: held so that no
+  // member delivers beyond what the cut will allow.
+  std::vector<FutureMsg> held_;
+  // Coordinator only: collected flush acks (sent count + per-origin
+  // delivered snapshot), exclusion timer, re-entrancy guard.
+  struct FlushOk {
+    std::uint64_t sent = 0;
+    std::map<std::uint32_t, std::uint64_t> delivered;
+  };
+  std::map<std::uint32_t, FlushOk> flush_oks_;
+  TimerId flush_timer_{};
+  bool change_in_progress_ = false;
+};
+
+}  // namespace msw

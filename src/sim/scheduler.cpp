@@ -1,0 +1,77 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace msw {
+
+EventId Scheduler::at(Time t, Fn fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Ev{t, id, id});
+  handlers_.emplace(id, std::move(fn));
+  ++size_;
+  return EventId{id};
+}
+
+EventId Scheduler::after(Duration d, Fn fn) {
+  assert(d >= 0 && "negative delay");
+  if (d < 0) d = 0;
+  return at(now_ + d, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = handlers_.find(id.v);
+  if (it == handlers_.end()) return;
+  handlers_.erase(it);
+  --size_;
+}
+
+bool Scheduler::pop_one() {
+  while (!queue_.empty()) {
+    Ev ev = queue_.top();
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    now_ = ev.t;
+    Fn fn = std::move(it->second);
+    handlers_.erase(it);
+    queue_.pop();
+    --size_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() { return pop_one(); }
+
+void Scheduler::run_until(Time t) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing the clock.
+    if (handlers_.find(queue_.top().id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().t > t) break;
+    pop_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Scheduler::run() {
+  while (pop_one()) {
+  }
+}
+
+std::size_t Scheduler::run_bounded(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && pop_one()) ++n;
+  return n;
+}
+
+}  // namespace msw

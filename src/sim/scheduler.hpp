@@ -1,0 +1,81 @@
+// Discrete-event scheduler.
+//
+// Events execute in (time, insertion-sequence) order, so simultaneous
+// events run in a deterministic order and the whole simulation is exactly
+// reproducible for a given seed. Cancellation is lazy: cancelled events
+// stay in the heap but are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace msw {
+
+/// Handle for a scheduled event, usable with Scheduler::cancel.
+struct EventId {
+  std::uint64_t v = 0;
+  bool valid() const { return v != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.v == b.v; }
+};
+
+class Scheduler {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Schedule fn at absolute time t (>= now).
+  EventId at(Time t, Fn fn);
+
+  /// Schedule fn after a relative delay (>= 0).
+  EventId after(Duration d, Fn fn);
+
+  /// Cancel a pending event. Cancelling an already-run or unknown event is
+  /// a no-op, so layers may cancel timers unconditionally in teardown.
+  void cancel(EventId id);
+
+  /// Run the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or the next event is after t;
+  /// the clock is then advanced to t (if t is ahead).
+  void run_until(Time t);
+
+  /// Run events until the queue is empty.
+  void run();
+
+  /// Run at most `limit` events; returns the number actually run. Guards
+  /// against livelock in tests exercising pathological configurations.
+  std::size_t run_bounded(std::size_t limit);
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return size_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t size_ = 0;  // live (non-cancelled) events
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::unordered_map<std::uint64_t, Fn> handlers_;
+};
+
+}  // namespace msw

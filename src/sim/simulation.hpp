@@ -1,0 +1,40 @@
+// Simulation driver: bundles the scheduler with the root random stream.
+//
+// A Simulation is the top-level object every experiment constructs first;
+// the network, stacks, and workloads all borrow its scheduler and fork
+// random streams from its root Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  /// Root random stream. Components should usually call fork_rng() instead
+  /// so that adding a consumer does not perturb unrelated draws.
+  Rng& rng() { return rng_; }
+
+  /// Independent random stream derived from the root.
+  Rng fork_rng() { return rng_.split(); }
+
+  Time now() const { return scheduler_.now(); }
+
+  void run() { scheduler_.run(); }
+  void run_until(Time t) { scheduler_.run_until(t); }
+  void run_for(Duration d) { scheduler_.run_until(scheduler_.now() + d); }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace msw

@@ -1,0 +1,47 @@
+// A process group: n nodes on one network, each running an identical
+// protocol stack built from a single LayerFactory (the paper's requirement
+// that every process have the same stack), sharing one TraceCapture.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "stack/stack.hpp"
+
+namespace msw {
+
+class Group {
+ public:
+  /// Creates `n` nodes on `net` and one stack per node. Call start() before
+  /// sending.
+  Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory);
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  void start();
+
+  std::size_t size() const { return stacks_.size(); }
+  Stack& stack(std::size_t i) { return *stacks_[i]; }
+  NodeId node(std::size_t i) const { return members_[i]; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Multicast from member i.
+  void send(std::size_t i, Bytes body) { stacks_[i]->send(std::move(body)); }
+
+  TraceCapture& capture() { return capture_; }
+  const Trace& trace() const { return capture_.trace(); }
+
+  /// Total application-level deliveries across all members.
+  std::uint64_t total_delivered() const;
+  /// Total application-level sends across all members.
+  std::uint64_t total_sent() const;
+
+ private:
+  std::vector<NodeId> members_;
+  TraceCapture capture_;
+  std::vector<std::unique_ptr<Stack>> stacks_;
+};
+
+}  // namespace msw

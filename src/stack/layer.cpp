@@ -1,0 +1,68 @@
+#include "stack/layer.hpp"
+
+#include <cassert>
+
+namespace msw {
+
+std::size_t LayerContext::self_index() const {
+  const auto& m = members();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] == self()) return i;
+  }
+  assert(false && "self not in member list");
+  return 0;
+}
+
+NodeId LayerContext::ring_successor() const {
+  const auto& m = members();
+  return m[(self_index() + 1) % m.size()];
+}
+
+LayerChain::LayerChain(Services& services, std::vector<std::unique_ptr<Layer>> layers,
+                       LayerContext::Route to_network, LayerContext::Route to_app)
+    : layers_(std::move(layers)),
+      to_network_(std::move(to_network)),
+      to_app_(std::move(to_app)) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Down from layer i goes to layer i+1 (or out the bottom); up from
+    // layer i goes to layer i-1 (or out the top). Raw pointers into
+    // layers_ are stable: the vector is never resized after construction.
+    LayerContext::Route down_route;
+    if (i + 1 < layers_.size()) {
+      Layer* below = layers_[i + 1].get();
+      down_route = [below](Message m) { below->down(std::move(m)); };
+    } else {
+      down_route = [this](Message m) { to_network_(std::move(m)); };
+    }
+    LayerContext::Route up_route;
+    if (i > 0) {
+      Layer* above = layers_[i - 1].get();
+      up_route = [above](Message m) { above->up(std::move(m)); };
+    } else {
+      up_route = [this](Message m) { to_app_(std::move(m)); };
+    }
+    layers_[i]->bind(LayerContext(&services, std::move(down_route), std::move(up_route)));
+  }
+}
+
+void LayerChain::start() {
+  for (auto& l : layers_) l->start();
+}
+
+void LayerChain::down_from_top(Message m) {
+  if (layers_.empty()) {
+    to_network_(std::move(m));
+  } else {
+    layers_.front()->down(std::move(m));
+  }
+}
+
+void LayerChain::up_from_bottom(Message m) {
+  if (layers_.empty()) {
+    to_app_(std::move(m));
+  } else {
+    layers_.back()->up(std::move(m));
+  }
+}
+
+}  // namespace msw

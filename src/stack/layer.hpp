@@ -1,0 +1,149 @@
+// Layer composition framework in the style of Horus / Ensemble.
+//
+// A Layer sees two streams of messages: `down(m)` carries sends from the
+// layer above toward the network, `up(m)` carries deliveries from the layer
+// below toward the application. The default implementations pass through,
+// so a layer overrides only the directions it cares about. Layers are
+// composed into a LayerChain; a chain between the application and the
+// network is a Stack, and because a chain presents the same two-sided
+// interface as a single layer, chains nest — the switching protocol hosts
+// one chain per underlying protocol (Figure 1 of the paper).
+//
+// Every process in a group runs the same sequence of layer types (the
+// paper's uniform-stack requirement); Group enforces this by constructing
+// all stacks from one factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+#include "stack/message.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+/// Per-process services a layer may use: identity, membership, virtual
+/// time, timers, and a deterministic random stream. Provided by the Stack
+/// and shared by every layer in the process, including nested chains.
+class Services {
+ public:
+  virtual ~Services() = default;
+
+  virtual NodeId self() const = 0;
+  virtual const std::vector<NodeId>& members() const = 0;
+  virtual Time now() const = 0;
+  virtual TimerId set_timer(Duration delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+  virtual Rng& rng() = 0;
+  /// Model protocol processing time: occupy this node's CPU for `d`.
+  virtual void consume_cpu(Duration d) = 0;
+};
+
+/// Wiring handed to each layer: where its output messages go.
+class LayerContext {
+ public:
+  using Route = std::function<void(Message)>;
+
+  LayerContext() = default;
+  LayerContext(Services* services, Route send_down, Route deliver_up)
+      : services_(services), send_down_(std::move(send_down)), deliver_up_(std::move(deliver_up)) {}
+
+  /// Pass a message to the layer below (toward the network).
+  void send_down(Message m) { send_down_(std::move(m)); }
+  /// Pass a message to the layer above (toward the application).
+  void deliver_up(Message m) { deliver_up_(std::move(m)); }
+
+  NodeId self() const { return services_->self(); }
+  const std::vector<NodeId>& members() const { return services_->members(); }
+  std::size_t member_count() const { return services_->members().size(); }
+  Time now() const { return services_->now(); }
+  TimerId set_timer(Duration delay, std::function<void()> fn) {
+    return services_->set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) { services_->cancel_timer(id); }
+  Rng& rng() { return services_->rng(); }
+  void consume_cpu(Duration d) { services_->consume_cpu(d); }
+
+  /// Index of this process in the member list (ring position).
+  std::size_t self_index() const;
+  /// Ring successor of this process in the member list.
+  NodeId ring_successor() const;
+
+  /// The per-process service provider — needed by layers that host nested
+  /// chains (the switching protocol) to wire their sub-layers.
+  Services* services() const { return services_; }
+
+ private:
+  Services* services_ = nullptr;
+  Route send_down_;
+  Route deliver_up_;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Called once after the whole stack (and group) is wired; layers start
+  /// timers or originate tokens here.
+  virtual void start() {}
+
+  /// A message from the layer above, heading toward the network.
+  virtual void down(Message m) { ctx_.send_down(std::move(m)); }
+
+  /// A message from the layer below, heading toward the application.
+  virtual void up(Message m) { ctx_.deliver_up(std::move(m)); }
+
+  /// Wire this layer. Called by LayerChain (or tests driving a layer
+  /// directly).
+  void bind(LayerContext ctx) { ctx_ = std::move(ctx); }
+
+ protected:
+  LayerContext& ctx() { return ctx_; }
+  const LayerContext& ctx() const { return ctx_; }
+
+ private:
+  LayerContext ctx_;
+};
+
+/// An ordered sequence of layers (index 0 = top) wired between a pair of
+/// boundary routes. Presents the same down/up interface as a single layer.
+class LayerChain {
+ public:
+  /// `to_network` receives messages leaving the bottom of the chain;
+  /// `to_app` receives messages leaving the top.
+  LayerChain(Services& services, std::vector<std::unique_ptr<Layer>> layers,
+             LayerContext::Route to_network, LayerContext::Route to_app);
+
+  LayerChain(const LayerChain&) = delete;
+  LayerChain& operator=(const LayerChain&) = delete;
+
+  void start();
+
+  /// Inject a send at the top of the chain.
+  void down_from_top(Message m);
+
+  /// Inject a delivery at the bottom of the chain.
+  void up_from_bottom(Message m);
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  LayerContext::Route to_network_;
+  LayerContext::Route to_app_;
+};
+
+/// Factory producing one process's layer stack, top first. Invoked once per
+/// member so every process runs an identical stack.
+using LayerFactory =
+    std::function<std::vector<std::unique_ptr<Layer>>(NodeId self, const std::vector<NodeId>& members)>;
+
+}  // namespace msw

@@ -1,0 +1,66 @@
+// Messages travelling through a protocol stack.
+//
+// A Message owns a flat byte buffer. On the way down a stack each layer
+// appends its header to the *tail* (with a trailing length word); on the
+// way up each layer pops its header off the tail. This is functionally
+// identical to the classic prepend-a-header discipline but keeps every
+// operation O(header) instead of O(message).
+//
+// Routing intent (group multicast vs. point-to-point) travels alongside the
+// bytes; only the bottom of the stack interprets it. On the receive path
+// `wire_src` records which node the enclosing packet physically came from —
+// simulator ground truth, usable for routing replies but not for
+// authenticated identity (that is the integrity layer's job).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/node_id.hpp"
+#include "util/bytes.hpp"
+
+namespace msw {
+
+struct Message {
+  Bytes data;
+
+  /// When set, the bottom layer unicasts to this node instead of
+  /// multicasting to the group.
+  std::optional<NodeId> point_to;
+
+  /// Receive path only: the node the packet physically arrived from.
+  NodeId wire_src{};
+
+  static Message group(Bytes payload);
+  static Message p2p(NodeId to, Bytes payload);
+
+  bool is_p2p() const { return point_to.has_value(); }
+  std::size_t size() const { return data.size(); }
+
+  /// Append a header: `fill` writes the header fields; a u32 length word is
+  /// appended after them so pop_header can find the boundary.
+  void push_header(const std::function<void(Writer&)>& fill);
+
+  /// Pop the tail header: `read` receives a Reader scoped to exactly the
+  /// header bytes and must consume all of them. Throws DecodeError on a
+  /// malformed buffer.
+  void pop_header(const std::function<void(Reader&)>& read);
+};
+
+/// The header the Stack itself pushes at the application boundary. It gives
+/// every application message a global identity (origin, per-origin sequence
+/// number) and marks view-change notifications synthesized by membership
+/// layers. The format is public so that layers (e.g. vsync) can deliver
+/// synthetic app-level messages.
+struct AppHeader {
+  enum class Kind : std::uint8_t { kData = 0, kView = 1 };
+
+  Kind kind = Kind::kData;
+  std::uint32_t sender = 0;
+  std::uint64_t seq = 0;
+
+  static void push(Message& m, const AppHeader& h);
+  static AppHeader pop(Message& m);
+};
+
+}  // namespace msw

@@ -1,0 +1,64 @@
+#include "stack/stack.hpp"
+
+#include "util/log.hpp"
+
+namespace msw {
+
+Stack::Stack(Network& net, NodeId self, std::vector<NodeId> members,
+             std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture)
+    : endpoint_(net, self), members_(std::move(members)), rng_(rng), capture_(capture) {
+  chain_ = std::make_unique<LayerChain>(
+      *this, std::move(layers), [this](Message m) { to_network(std::move(m)); },
+      [this](Message m) { to_app(std::move(m)); });
+  endpoint_.set_handler([this](Packet p) { on_packet(std::move(p)); });
+}
+
+void Stack::start() { chain_->start(); }
+
+void Stack::send(Bytes body) {
+  const MsgId id{self().v, next_seq_++, MsgId::Kind::kData};
+  if (capture_ != nullptr) capture_->record_send(self(), id, body, now());
+  Message m = Message::group(std::move(body));
+  AppHeader::push(m, AppHeader{AppHeader::Kind::kData, id.sender, id.seq});
+  chain_->down_from_top(std::move(m));
+}
+
+void Stack::to_network(Message m) {
+  if (m.is_p2p()) {
+    endpoint_.send(*m.point_to, std::move(m.data));
+  } else {
+    endpoint_.multicast(members_, std::move(m.data));
+  }
+}
+
+void Stack::to_app(Message m) {
+  AppHeader h;
+  try {
+    h = AppHeader::pop(m);
+  } catch (const DecodeError& e) {
+    MSW_LOG(kWarn, "stack", now()) << to_string(self()) << " malformed app header: " << e.what();
+    return;
+  }
+  const MsgId id{h.sender, h.seq,
+                 h.kind == AppHeader::Kind::kView ? MsgId::Kind::kView : MsgId::Kind::kData};
+  ++delivered_;
+  if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data, now());
+  if (on_deliver_) on_deliver_(id, m.data);
+}
+
+void Stack::on_packet(Packet p) {
+  Message m;
+  m.data = std::move(p.data);
+  m.wire_src = p.src;
+  try {
+    chain_->up_from_bottom(std::move(m));
+  } catch (const DecodeError& e) {
+    // Malformed wire data (corruption, or ciphertext decrypted with the
+    // wrong key): real stacks drop such packets at the point of failure.
+    MSW_LOG(kDebug, "stack", now())
+        << to_string(self()) << " dropped malformed packet from " << to_string(p.src) << ": "
+        << e.what();
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,76 @@
+// One process's protocol stack: application boundary on top, network
+// endpoint at the bottom, a LayerChain in between.
+//
+// The Stack stamps every application send with a global identity
+// (AppHeader) and reports Send/Deliver events to the group's TraceCapture,
+// so captured traces match the paper's system model exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/endpoint.hpp"
+#include "stack/capture.hpp"
+#include "stack/layer.hpp"
+
+namespace msw {
+
+/// Application-side delivery callback. For ordinary messages `id.kind` is
+/// kData and `body` is the payload; membership layers may also deliver
+/// view notifications (kind kView, body = encoded member list).
+using DeliverFn = std::function<void(const MsgId& id, const Bytes& body)>;
+
+class Stack : public Services {
+ public:
+  /// `self` must already exist on `net`. `members` is the full group
+  /// (including self), identical at every member.
+  Stack(Network& net, NodeId self, std::vector<NodeId> members,
+        std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture = nullptr);
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Start all layers. Call after every stack in the group is constructed
+  /// (layers may message peers from start()).
+  void start();
+
+  /// Multicast an application payload to the group.
+  void send(Bytes body);
+
+  void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+
+  /// Messages this process has submitted.
+  std::uint64_t sent() const { return next_seq_; }
+  /// Messages delivered to the application at this process.
+  std::uint64_t delivered() const { return delivered_; }
+
+  // Services interface (used by layers).
+  NodeId self() const override { return endpoint_.id(); }
+  const std::vector<NodeId>& members() const override { return members_; }
+  Time now() const override { return endpoint_.now(); }
+  TimerId set_timer(Duration delay, std::function<void()> fn) override {
+    return endpoint_.set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { endpoint_.cancel_timer(id); }
+  Rng& rng() override { return rng_; }
+  void consume_cpu(Duration d) override { endpoint_.network().consume_cpu(self(), d); }
+
+  LayerChain& chain() { return *chain_; }
+  Endpoint& endpoint() { return endpoint_; }
+
+ private:
+  void to_network(Message m);
+  void to_app(Message m);
+  void on_packet(Packet p);
+
+  Endpoint endpoint_;
+  std::vector<NodeId> members_;
+  Rng rng_;
+  TraceCapture* capture_;
+  std::unique_ptr<LayerChain> chain_;
+  DeliverFn on_deliver_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace msw

@@ -1,0 +1,16 @@
+#include "switch/oracle.hpp"
+
+namespace msw {
+
+bool ThresholdOracle::should_switch(const OracleView& view) {
+  if (view.active_protocol == 0) return view.active_senders >= threshold_;
+  return view.active_senders < threshold_;
+}
+
+bool HysteresisOracle::should_switch(const OracleView& view) {
+  if (view.since_last_switch < min_dwell_) return false;
+  if (view.active_protocol == 0) return view.active_senders >= high_;
+  return view.active_senders <= low_;
+}
+
+}  // namespace msw

@@ -1,0 +1,417 @@
+#include "switch/switch_layer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace msw {
+namespace {
+
+// Mux channels (Figure 1: each protocol, and SP itself, gets a private
+// channel over the shared endpoint).
+constexpr std::uint16_t kChanProtoA = 0;
+constexpr std::uint16_t kChanProtoB = 1;
+constexpr std::uint16_t kChanControl = 2;
+
+// SP data-path header type.
+enum class DataType : std::uint8_t { kData = 0, kPass = 1 };
+
+// SP control-channel message type.
+enum class CtlType : std::uint8_t { kToken = 0, kAck = 1 };
+
+}  // namespace
+
+SwitchLayer::SwitchLayer(std::vector<std::unique_ptr<Layer>> proto_a,
+                         std::vector<std::unique_ptr<Layer>> proto_b,
+                         std::unique_ptr<Oracle> oracle, SwitchConfig cfg)
+    : cfg_(cfg),
+      oracle_(std::move(oracle)),
+      layers_a_(std::move(proto_a)),
+      layers_b_(std::move(proto_b)) {}
+
+SwitchLayer::~SwitchLayer() = default;
+
+void SwitchLayer::start() {
+  Services* services = ctx().services();
+  chain_a_ = std::make_unique<LayerChain>(
+      *services, std::move(layers_a_),
+      [this](Message m) {
+        Mux::push(m, kChanProtoA);
+        ctx().send_down(std::move(m));
+      },
+      [this](Message m) { on_subprotocol_deliver(0, std::move(m)); });
+  chain_b_ = std::make_unique<LayerChain>(
+      *services, std::move(layers_b_),
+      [this](Message m) {
+        Mux::push(m, kChanProtoB);
+        ctx().send_down(std::move(m));
+      },
+      [this](Message m) { on_subprotocol_deliver(1, std::move(m)); });
+  chain_a_->start();
+  chain_b_->start();
+
+  if (ctx().self_index() == 0) {
+    // Originate the perpetually-circulating NORMAL token.
+    Token t;
+    t.mode = TokenMode::kNormal;
+    t.serial = 1;
+    t.epoch = epoch_;
+    last_serial_seen_ = 1;
+    handle_token(std::move(t));
+  }
+}
+
+Layer& SwitchLayer::sub_layer(int protocol, std::size_t i) {
+  return chain(protocol).layer(i);
+}
+
+// --------------------------------------------------------------------------
+// Data path
+// --------------------------------------------------------------------------
+
+void SwitchLayer::down(Message m) {
+  if (m.is_p2p()) {
+    m.push_header([](Writer& w) { w.u8(static_cast<std::uint8_t>(DataType::kPass)); });
+    chain(active_protocol()).down_from_top(std::move(m));
+    return;
+  }
+  // Sends submitted after PREPARE travel on the NEW protocol under the next
+  // epoch — the application is never blocked (paper section 2/7).
+  const std::uint64_t target_epoch = prepared_ ? epoch_ + 1 : epoch_;
+  const std::uint64_t seq = prepared_ ? sent_next_epoch_++ : sent_this_epoch_++;
+  const std::uint32_t sender = ctx().self().v;
+  m.push_header([&](Writer& w) {
+    w.u8(static_cast<std::uint8_t>(DataType::kData));
+    w.u64(target_epoch);
+    w.u32(sender);
+    w.u64(seq);
+  });
+  chain(static_cast<int>(target_epoch % 2)).down_from_top(std::move(m));
+}
+
+void SwitchLayer::up(Message m) {
+  std::uint16_t channel = 0;
+  try {
+    channel = Mux::pop(m);
+  } catch (const DecodeError&) {
+    return;
+  }
+  switch (channel) {
+    case kChanProtoA:
+      chain_a_->up_from_bottom(std::move(m));
+      break;
+    case kChanProtoB:
+      chain_b_->up_from_bottom(std::move(m));
+      break;
+    case kChanControl:
+      on_control(std::move(m));
+      break;
+    default:
+      break;
+  }
+}
+
+void SwitchLayer::on_subprotocol_deliver(int protocol, Message m) {
+  DataType type{};
+  std::uint64_t epoch = 0;
+  std::uint32_t sender = 0;
+  try {
+    m.pop_header([&](Reader& r) {
+      type = static_cast<DataType>(r.u8());
+      if (type == DataType::kData) {
+        epoch = r.u64();
+        sender = r.u32();
+        r.u64();  // per-epoch sequence, diagnostic only
+      }
+    });
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (type == DataType::kPass) {
+    ctx().deliver_up(std::move(m));
+    return;
+  }
+  if (static_cast<int>(epoch % 2) != protocol) {
+    // A message tagged for one protocol surfaced from the other: a bug in
+    // the composition, not a runtime condition.
+    assert(false && "epoch/protocol mismatch");
+    return;
+  }
+  if (epoch == epoch_) {
+    deliver_counted(sender, std::move(m));
+    maybe_complete_switch();
+  } else if (epoch == epoch_ + 1) {
+    // The sender has already moved on; we are still draining. Buffer in
+    // arrival order, which is the new protocol's delivery order.
+    buffered_next_.push_back(BufferedDeliver{sender, std::move(m)});
+    stats_.max_buffered = std::max(stats_.max_buffered,
+                                   static_cast<std::uint64_t>(buffered_next_.size()));
+  } else {
+    // Older epochs: late retransmissions, already delivered before we
+    // switched — the at-most-once assumption makes these safe to drop.
+    ++stats_.stale_dropped;
+  }
+}
+
+void SwitchLayer::deliver_counted(std::uint32_t sender, Message m) {
+  ++delivered_this_epoch_[sender];
+  last_seen_sender_[sender] = ctx().now();
+  ctx().deliver_up(std::move(m));
+}
+
+void SwitchLayer::maybe_complete_switch() {
+  if (!prepared_ || !have_counts_) return;
+  const auto& members = ctx().members();
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    const auto it = delivered_this_epoch_.find(members[j].v);
+    const std::uint64_t delivered = it == delivered_this_epoch_.end() ? 0 : it->second;
+    if (delivered < counts_[j]) return;  // still draining the old protocol
+  }
+  complete_local_switch();
+}
+
+void SwitchLayer::complete_local_switch() {
+  ++epoch_;
+  sent_this_epoch_ = sent_next_epoch_;
+  sent_next_epoch_ = 0;
+  delivered_this_epoch_.clear();
+  prepared_ = false;
+  have_counts_ = false;
+  counts_.clear();
+  ++stats_.switches_completed;
+  stats_.last_local_switch_duration = ctx().now() - local_switch_started_;
+  last_switch_time_ = ctx().now();
+  MSW_LOG(kInfo, "switch", ctx().now())
+      << to_string(ctx().self()) << " switched to epoch " << epoch_ << " (protocol "
+      << active_protocol() << "), releasing " << buffered_next_.size() << " buffered";
+
+  // Release new-epoch deliveries in the new protocol's order.
+  std::vector<BufferedDeliver> buffered = std::move(buffered_next_);
+  buffered_next_.clear();
+  for (auto& b : buffered) deliver_counted(b.sender, std::move(b.m));
+
+  if (held_flush_) {
+    Token flush = std::move(*held_flush_);
+    held_flush_.reset();
+    forward_token(std::move(flush));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Control path: the three-rotation switch token
+// --------------------------------------------------------------------------
+
+Bytes SwitchLayer::encode_token(const Token& t) const {
+  Message m = Message::group({});
+  m.push_header([&](Writer& w) {
+    w.u8(static_cast<std::uint8_t>(CtlType::kToken));
+    w.u8(static_cast<std::uint8_t>(t.mode));
+    w.u64(t.serial);
+    w.u64(t.epoch);
+    w.u32(t.initiator);
+    w.u32(static_cast<std::uint32_t>(t.counts.size()));
+    for (std::uint64_t c : t.counts) w.u64(c);
+  });
+  return std::move(m.data);
+}
+
+SwitchLayer::Token SwitchLayer::decode_token(Reader& r) {
+  Token t;
+  t.mode = static_cast<TokenMode>(r.u8());
+  t.serial = r.u64();
+  t.epoch = r.u64();
+  t.initiator = r.u32();
+  const std::uint32_t n = r.u32();
+  t.counts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) t.counts.push_back(r.u64());
+  return t;
+}
+
+void SwitchLayer::on_control(Message m) {
+  CtlType type{};
+  Token token;
+  std::uint64_t ack_serial = 0;
+  try {
+    m.pop_header([&](Reader& r) {
+      type = static_cast<CtlType>(r.u8());
+      if (type == CtlType::kToken) {
+        token = decode_token(r);
+      } else {
+        ack_serial = r.u64();
+      }
+    });
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (type == CtlType::kAck) {
+    if (ack_serial == outstanding_serial_) {
+      outstanding_serial_ = 0;
+      outstanding_bytes_.clear();
+    }
+    return;
+  }
+  on_token(std::move(token), m.wire_src);
+}
+
+void SwitchLayer::on_token(Token t, NodeId from) {
+  // Ack unconditionally; the predecessor retransmits until it hears us.
+  {
+    Message ack = Message::p2p(from, {});
+    const std::uint64_t serial = t.serial;
+    ack.push_header([&](Writer& w) {
+      w.u8(static_cast<std::uint8_t>(CtlType::kAck));
+      w.u64(serial);
+    });
+    Mux::push(ack, kChanControl);
+    ctx().send_down(std::move(ack));
+  }
+  if (t.serial <= last_serial_seen_) return;  // duplicate handoff
+  last_serial_seen_ = t.serial;
+  handle_token(std::move(t));
+}
+
+void SwitchLayer::begin_prepare_local() {
+  prepared_ = true;
+  local_switch_started_ = ctx().now();
+  // sent_this_epoch_ is now frozen: subsequent sends count toward the next
+  // epoch and travel on the new protocol.
+}
+
+void SwitchLayer::handle_token(Token t) {
+  const std::uint32_t self = ctx().self().v;
+  switch (t.mode) {
+    case TokenMode::kNormal: {
+      const bool initiate =
+          switch_requested_ ||
+          oracle_->should_switch(OracleView{ctx().self(), active_protocol(), ctx().now(),
+                                            active_senders(),
+                                            ctx().now() - last_switch_time_});
+      if (initiate) {
+        switch_requested_ = false;
+        i_am_initiator_ = true;
+        switch_started_ = ctx().now();
+        ++stats_.switches_initiated;
+        MSW_LOG(kInfo, "switch", ctx().now())
+            << to_string(ctx().self()) << " initiating switch away from protocol "
+            << active_protocol() << " (epoch " << epoch_ << ")";
+        t.mode = TokenMode::kPrepare;
+        t.epoch = epoch_;
+        t.initiator = self;
+        t.counts.assign(ctx().member_count(), 0);
+        begin_prepare_local();
+        t.counts[ctx().self_index()] = sent_this_epoch_;
+        forward_token(std::move(t));
+        return;
+      }
+      if (cfg_.normal_hold > 0) {
+        ctx().set_timer(cfg_.normal_hold,
+                        [this, t = std::move(t)]() mutable { forward_token(std::move(t)); });
+      } else {
+        forward_token(std::move(t));
+      }
+      return;
+    }
+
+    case TokenMode::kPrepare: {
+      if (t.initiator == self) {
+        // Second rotation: every member's count is on board.
+        t.mode = TokenMode::kSwitch;
+        counts_ = t.counts;
+        have_counts_ = true;
+        forward_token(std::move(t));
+        maybe_complete_switch();
+        return;
+      }
+      if (t.epoch == epoch_ && !prepared_) {
+        begin_prepare_local();
+        t.counts[ctx().self_index()] = sent_this_epoch_;
+      }
+      forward_token(std::move(t));
+      return;
+    }
+
+    case TokenMode::kSwitch: {
+      if (t.initiator == self) {
+        // Third rotation: disseminate FLUSH, but only once we ourselves
+        // have completed the local switch.
+        t.mode = TokenMode::kFlush;
+        if (epoch_ > t.epoch) {
+          forward_token(std::move(t));
+        } else {
+          held_flush_ = std::move(t);
+        }
+        return;
+      }
+      if (t.epoch == epoch_ && prepared_) {
+        counts_ = t.counts;
+        have_counts_ = true;
+      }
+      forward_token(std::move(t));
+      maybe_complete_switch();
+      return;
+    }
+
+    case TokenMode::kFlush: {
+      if (t.initiator == self) {
+        // The FLUSH made it through every member: the switch has truly
+        // completed at each member (paper section 2).
+        stats_.last_switch_duration = ctx().now() - switch_started_;
+        stats_.switch_durations.add(to_ms(stats_.last_switch_duration));
+        i_am_initiator_ = false;
+        MSW_LOG(kInfo, "switch", ctx().now())
+            << to_string(ctx().self()) << " switch complete in "
+            << to_ms(stats_.last_switch_duration) << " ms";
+        t.mode = TokenMode::kNormal;
+        t.epoch = epoch_;
+        t.initiator = 0;
+        t.counts.clear();
+        forward_token(std::move(t));
+        return;
+      }
+      if (epoch_ > t.epoch) {
+        forward_token(std::move(t));
+      } else {
+        // Still draining; forward once the local switch completes.
+        held_flush_ = std::move(t);
+      }
+      return;
+    }
+  }
+}
+
+void SwitchLayer::forward_token(Token t, bool count_hop) {
+  if (count_hop) ++stats_.token_hops;
+  ++t.serial;
+  outstanding_serial_ = t.serial;
+  outstanding_bytes_ = encode_token(t);
+  Message m = Message::p2p(ctx().ring_successor(), outstanding_bytes_);
+  Mux::push(m, kChanControl);
+  ctx().send_down(std::move(m));
+  arm_token_retransmit(t.serial);
+}
+
+void SwitchLayer::arm_token_retransmit(std::uint64_t serial) {
+  ctx().set_timer(cfg_.token_rto, [this, serial] {
+    if (outstanding_serial_ != serial) return;  // acked meanwhile
+    ++stats_.token_retransmissions;
+    Message m = Message::p2p(ctx().ring_successor(), outstanding_bytes_);
+    Mux::push(m, kChanControl);
+    ctx().send_down(std::move(m));
+    arm_token_retransmit(serial);
+  });
+}
+
+std::size_t SwitchLayer::active_senders() const {
+  const Time now = ctx().now();
+  for (auto it = last_seen_sender_.begin(); it != last_seen_sender_.end();) {
+    if (now - it->second > cfg_.sender_window) {
+      it = last_seen_sender_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return last_seen_sender_.size();
+}
+
+}  // namespace msw

@@ -1,0 +1,197 @@
+// The Switching Protocol (SP) — the paper's primary contribution
+// (section 2).
+//
+// SP is layered over two protocols of interest and is transparent to the
+// application: in normal mode it forwards sends to the current protocol
+// and deliveries from it. It guarantees that, when switching, every
+// process delivers ALL messages of the old protocol before any message of
+// the new one — senders are never blocked (sends submitted mid-switch
+// travel on the new protocol and are buffered at receivers still
+// draining).
+//
+// As in the paper's implementation, control does not use network-level
+// broadcast: a token rotates on the logical ring of group members, in one
+// of four modes. A member wishing to switch awaits a NORMAL token and, as
+// initiator, drives it through three rotations:
+//
+//   PREPARE  — each member freezes and piggybacks the count of messages it
+//              sent over the current protocol, starts sending new data on
+//              the new protocol, and buffers new-protocol deliveries;
+//   SWITCH   — disseminates the complete count vector; a member that has
+//              delivered every counted old-protocol message switches over
+//              and releases its buffer;
+//   FLUSH    — travels only through members that have completed the local
+//              switch, so its return to the initiator certifies the switch
+//              is complete everywhere, and the token reverts to NORMAL.
+//
+// Epochs: each completed switch increments an epoch number carried on
+// every data message, so late retransmissions of an old epoch are
+// recognized as duplicates and early arrivals of the next epoch are
+// buffered — at most two epochs can ever be live at once because a new
+// switch requires the NORMAL token, which only reappears after the
+// previous FLUSH rotation completes.
+//
+// Assumptions on the underlying protocols (paper section 2): no spurious
+// deliveries, at-most-once delivery; exactly-once for switch liveness.
+// Token handoffs are acknowledged and retransmitted, so SP itself
+// tolerates a fair-lossy network.
+//
+// Each underlying protocol, and SP's control traffic, gets a private
+// channel over the shared endpoint via Mux (Figure 1's MULTIPLEX).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "stack/capture.hpp"
+#include "stack/layer.hpp"
+#include "switch/multiplex_layer.hpp"
+#include "switch/oracle.hpp"
+
+namespace msw {
+
+struct SwitchConfig {
+  /// Token handoff retransmission interval.
+  Duration token_rto = 15 * kMillisecond;
+  /// Extra hold per member per hop of the NORMAL token. 0 = rotate at
+  /// network speed; raising it reduces idle control traffic at the cost of
+  /// switch-initiation latency.
+  Duration normal_hold = 0;
+  /// Window over which "active senders" is measured for the oracle.
+  Duration sender_window = 200 * kMillisecond;
+};
+
+class SwitchLayer : public Layer {
+ public:
+  /// `proto_a` / `proto_b` are the two underlying protocol stacks (top
+  /// first), constructed per process exactly like host-stack layers.
+  /// Protocol A is active initially at every member.
+  SwitchLayer(std::vector<std::unique_ptr<Layer>> proto_a,
+              std::vector<std::unique_ptr<Layer>> proto_b,
+              std::unique_ptr<Oracle> oracle = std::make_unique<ManualOracle>(),
+              SwitchConfig cfg = {});
+  ~SwitchLayer() override;
+
+  std::string_view name() const override { return "switch"; }
+
+  void start() override;
+  void down(Message m) override;
+  void up(Message m) override;
+
+  /// Ask this member to initiate a switch at the next NORMAL token,
+  /// regardless of the oracle.
+  void request_switch() { switch_requested_ = true; }
+
+  std::uint64_t epoch() const { return epoch_; }
+  /// Epoch a send submitted right now would be tagged with (epoch_ + 1
+  /// once PREPARE has been processed — new sends ride the new protocol).
+  std::uint64_t epoch_of_next_send() const { return prepared_ ? epoch_ + 1 : epoch_; }
+  /// Index (0/1) of the protocol data currently travels on.
+  int active_protocol() const { return static_cast<int>(epoch_ % 2); }
+  /// True between processing PREPARE and completing the local switchover.
+  bool switching() const { return prepared_; }
+  /// New-epoch deliveries buffered while draining the old protocol.
+  std::size_t buffered() const { return buffered_next_.size(); }
+
+  /// Direct access to a sub-protocol layer (for tests and demos).
+  Layer& sub_layer(int protocol, std::size_t i);
+
+  struct Stats {
+    std::uint64_t switches_completed = 0;       // local switchovers
+    std::uint64_t switches_initiated = 0;       // this member was initiator
+    std::uint64_t token_hops = 0;               // tokens this member forwarded
+    std::uint64_t token_retransmissions = 0;
+    std::uint64_t stale_dropped = 0;            // old-epoch duplicates
+    std::uint64_t max_buffered = 0;             // high-water mark of buffer
+    /// Initiator-side duration of the last completed switch, from NORMAL
+    /// token capture to FLUSH return (the paper's ~31 ms overhead).
+    Duration last_switch_duration = 0;
+    Summary switch_durations;                   // all initiated switches, ms
+    /// Member-side duration of the last local switch (PREPARE seen to
+    /// switchover).
+    Duration last_local_switch_duration = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Distinct senders delivered within cfg.sender_window (oracle signal).
+  std::size_t active_senders() const;
+
+ private:
+  enum class TokenMode : std::uint8_t { kNormal = 0, kPrepare = 1, kSwitch = 2, kFlush = 3 };
+
+  struct Token {
+    TokenMode mode = TokenMode::kNormal;
+    std::uint64_t serial = 0;
+    std::uint64_t epoch = 0;       // epoch being closed by this switch
+    std::uint32_t initiator = 0;   // member id driving the switch
+    /// PREPARE: per-member sent counts, filled as the token travels
+    /// (slot i == members()[i]); SWITCH: the complete vector.
+    std::vector<std::uint64_t> counts;
+  };
+
+  // --- data path -----------------------------------------------------
+  void on_subprotocol_deliver(int protocol, Message m);
+  void deliver_counted(std::uint32_t sender, Message m);
+  void maybe_complete_switch();
+  void complete_local_switch();
+
+  // --- control path ----------------------------------------------------
+  void on_control(Message m);
+  void on_token(Token t, NodeId from);
+  void handle_token(Token t);
+  void begin_prepare_local();
+  void forward_token(Token t, bool count_hop = true);
+  void arm_token_retransmit(std::uint64_t serial);
+  Bytes encode_token(const Token& t) const;
+  static Token decode_token(Reader& r);
+
+  LayerChain& chain(int protocol) { return protocol == 0 ? *chain_a_ : *chain_b_; }
+
+  SwitchConfig cfg_;
+  std::unique_ptr<Oracle> oracle_;
+
+  // Sub-protocol layers, wrapped into chains at start().
+  std::vector<std::unique_ptr<Layer>> layers_a_;
+  std::vector<std::unique_ptr<Layer>> layers_b_;
+  std::unique_ptr<LayerChain> chain_a_;
+  std::unique_ptr<LayerChain> chain_b_;
+
+  // --- epoch state -----------------------------------------------------
+  std::uint64_t epoch_ = 0;
+  std::uint64_t sent_this_epoch_ = 0;
+  std::uint64_t sent_next_epoch_ = 0;
+  std::map<std::uint32_t, std::uint64_t> delivered_this_epoch_;
+
+  // --- switch-in-progress state -----------------------------------------
+  bool prepared_ = false;      // saw PREPARE for epoch_; sends go to epoch_+1
+  bool have_counts_ = false;   // saw SWITCH vector
+  std::vector<std::uint64_t> counts_;
+  struct BufferedDeliver {
+    std::uint32_t sender;
+    Message m;
+  };
+  std::vector<BufferedDeliver> buffered_next_;  // next-epoch deliveries, in order
+  std::optional<Token> held_flush_;  // FLUSH token held until local switch done
+  bool i_am_initiator_ = false;
+  Time switch_started_ = 0;        // initiator: NORMAL captured
+  Time local_switch_started_ = 0;  // member: PREPARE processed
+
+  // --- token transport ---------------------------------------------------
+  std::uint64_t last_serial_seen_ = 0;
+  std::uint64_t outstanding_serial_ = 0;
+  Bytes outstanding_bytes_;
+  bool switch_requested_ = false;
+  Time last_switch_time_ = 0;
+
+  // --- oracle signal -------------------------------------------------
+  mutable std::map<std::uint32_t, Time> last_seen_sender_;
+
+  Stats stats_;
+};
+
+}  // namespace msw

@@ -1,0 +1,346 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace msw {
+namespace {
+
+/// Message blueprint before events are laid out.
+struct Blue {
+  std::uint32_t sender;
+  std::uint64_t seq;
+  Bytes body;
+};
+
+std::vector<Blue> make_messages(Rng& rng, const GenOptions& opts,
+                                const std::vector<std::uint32_t>& senders) {
+  // Bodies: unique by default, or sampled without replacement from the
+  // shared pool (unique within the trace either way, so No Replay holds).
+  std::vector<std::uint32_t> pool;
+  if (opts.body_pool > 0) {
+    pool.resize(std::max<std::uint32_t>(opts.body_pool, opts.n_msgs));
+    for (std::uint32_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    rng.shuffle(pool);
+  }
+  std::vector<Blue> msgs;
+  msgs.reserve(opts.n_msgs);
+  for (std::uint32_t i = 0; i < opts.n_msgs; ++i) {
+    Blue b;
+    b.sender = senders[rng.index(senders.size())];
+    b.seq = opts.seq_base + i;
+    if (opts.body_pool > 0) {
+      b.body = to_bytes("pool" + std::to_string(pool[i]));
+    } else {
+      b.body = to_bytes("m" + std::to_string(b.sender) + ":" + std::to_string(b.seq));
+    }
+    msgs.push_back(std::move(b));
+  }
+  return msgs;
+}
+
+std::vector<std::uint32_t> all_procs(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  return p;
+}
+
+/// Lay out a totally-ordered trace: `deliverers[g]` lists the processes
+/// that deliver message g (in global-order position g). If `master_first`,
+/// process 0 delivers each message before anyone else.
+Trace layout_total_order(Rng& rng, const std::vector<Blue>& msgs,
+                         const std::vector<std::vector<std::uint32_t>>& deliverers,
+                         bool master_first) {
+  const std::size_t m = msgs.size();
+  // Per-process global-order pointer.
+  std::vector<std::vector<std::uint32_t>> queue_of(m);
+  Trace tr;
+  std::size_t sent = 0;
+  // remaining[p] = next global index process p will deliver (skip messages
+  // p does not deliver).
+  struct Cursor {
+    std::uint32_t proc;
+    std::size_t next = 0;  // index into its own delivery list
+    std::vector<std::size_t> list;  // global indices it delivers, ascending
+  };
+  std::vector<Cursor> cursors;
+  {
+    std::map<std::uint32_t, std::vector<std::size_t>> lists;
+    for (std::size_t g = 0; g < m; ++g) {
+      for (std::uint32_t p : deliverers[g]) lists[p].push_back(g);
+    }
+    for (auto& [p, list] : lists) cursors.push_back(Cursor{p, 0, std::move(list)});
+  }
+  std::vector<bool> master_done(m, false);
+
+  const auto can_deliver = [&](const Cursor& c) {
+    if (c.next >= c.list.size()) return false;
+    const std::size_t g = c.list[c.next];
+    if (g >= sent) return false;  // not sent yet
+    if (master_first && c.proc != 0 && !master_done[g]) return false;
+    return true;
+  };
+
+  while (true) {
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (can_deliver(cursors[i])) ready.push_back(i);
+    }
+    const bool can_send = sent < m;
+    if (!can_send && ready.empty()) break;
+    // Bias toward delivering so sends and deliveries interleave.
+    if (can_send && (ready.empty() || rng.chance(0.4))) {
+      const Blue& b = msgs[sent];
+      tr.push_back(send_ev(b.sender, b.seq, b.body));
+      ++sent;
+      continue;
+    }
+    Cursor& c = cursors[ready[rng.index(ready.size())]];
+    const Blue& b = msgs[c.list[c.next]];
+    if (master_first && c.proc == 0) master_done[c.list[c.next]] = true;
+    tr.push_back(deliver_ev(c.proc, b.sender, b.seq, b.body));
+    ++c.next;
+  }
+  return tr;
+}
+
+std::vector<std::vector<std::uint32_t>> full_delivery(const GenOptions& opts,
+                                                      const std::vector<std::uint32_t>& procs,
+                                                      Rng& rng) {
+  std::vector<std::vector<std::uint32_t>> d(opts.n_msgs, procs);
+  if (opts.delivery == GenOptions::Delivery::kPrefix) {
+    // Each process delivers a random prefix of the global order.
+    for (std::uint32_t p : procs) {
+      const std::size_t cut = rng.index(opts.n_msgs + 1);
+      for (std::size_t g = cut; g < opts.n_msgs; ++g) {
+        auto& v = d[g];
+        v.erase(std::remove(v.begin(), v.end(), p), v.end());
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Trace gen_total_order_trace(Rng& rng, const GenOptions& opts) {
+  const auto procs = all_procs(opts.n_procs);
+  const auto msgs = make_messages(rng, opts, procs);
+  return layout_total_order(rng, msgs, full_delivery(opts, procs, rng), false);
+}
+
+Trace gen_priority_trace(Rng& rng, const GenOptions& opts) {
+  const auto procs = all_procs(opts.n_procs);
+  const auto msgs = make_messages(rng, opts, procs);
+  return layout_total_order(rng, msgs, full_delivery(opts, procs, rng), true);
+}
+
+Trace gen_amoeba_trace(Rng& rng, const GenOptions& opts) {
+  const auto procs = all_procs(opts.n_procs);
+  const auto msgs = make_messages(rng, opts, procs);
+  Trace tr;
+  for (std::size_t g = 0; g < msgs.size(); ++g) {
+    const Blue& b = msgs[g];
+    tr.push_back(send_ev(b.sender, b.seq, b.body));
+    const bool in_flight = g + 1 == msgs.size() && rng.chance(0.5);
+    if (in_flight) break;  // final message may stay undelivered
+    // Everyone delivers; the sender often delivers LAST so that the next
+    // send (frequently by the same process) is adjacent to the sender's
+    // own delivery — the Delayable counterexample shape.
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t p : procs) {
+      if (p != b.sender) order.push_back(p);
+    }
+    rng.shuffle(order);
+    order.push_back(b.sender);
+    for (std::uint32_t p : order) tr.push_back(deliver_ev(p, b.sender, b.seq, b.body));
+  }
+  return tr;
+}
+
+Trace gen_vsync_trace(Rng& rng, const GenOptions& opts) {
+  const std::uint32_t views = 2 + static_cast<std::uint32_t>(rng.index(3));  // 2..4 views
+  Trace tr;
+  std::uint64_t next_seq = opts.seq_base;
+  for (std::uint32_t v = 1; v <= views; ++v) {
+    // Some processes skip this view (but at least two stay).
+    std::vector<std::uint32_t> members = all_procs(opts.n_procs);
+    if (opts.n_procs > 2 && rng.chance(0.5)) {
+      members.erase(members.begin() +
+                    static_cast<std::ptrdiff_t>(1 + rng.index(members.size() - 1)));
+    }
+    // View notification: delivered (no Send) at each member, like the
+    // membership layer's synthesized notifications.
+    for (std::uint32_t p : members) {
+      tr.push_back(view_deliver_ev(p, 0, opts.seq_base + v));
+    }
+    // Data of this view: sent and delivered within it, same set everywhere.
+    const std::uint32_t data = 1 + static_cast<std::uint32_t>(rng.index(opts.n_msgs));
+    for (std::uint32_t i = 0; i < data; ++i) {
+      const std::uint32_t sender = members[rng.index(members.size())];
+      const std::uint64_t seq = next_seq++;
+      const Bytes body = to_bytes("v" + std::to_string(v) + "m" + std::to_string(seq));
+      tr.push_back(send_ev(sender, seq, body));
+      std::vector<std::uint32_t> order = members;
+      rng.shuffle(order);
+      for (std::uint32_t p : order) tr.push_back(deliver_ev(p, sender, seq, body));
+    }
+    // Sometimes end the trace mid-epoch: trailing data that only a subset
+    // has delivered so far. Legal under Virtual Synchrony (the epoch is
+    // still open) — and exactly the raw material of the composability
+    // counterexample, where concatenation CLOSES the epoch with the next
+    // trace's view marker and exposes the asymmetry.
+    if (v == views && rng.chance(0.5) && members.size() >= 2) {
+      const std::uint32_t sender = members[rng.index(members.size())];
+      const std::uint64_t seq = next_seq++;
+      const Bytes body = to_bytes("tail" + std::to_string(seq));
+      tr.push_back(send_ev(sender, seq, body));
+      const std::size_t receivers = 1 + rng.index(members.size() - 1);
+      for (std::size_t i = 0; i < receivers; ++i) {
+        tr.push_back(deliver_ev(members[i], sender, seq, body));
+      }
+    }
+  }
+  return tr;
+}
+
+Trace gen_cluster_trace(Rng& rng, const GenOptions& opts,
+                        const std::set<std::uint32_t>& cluster) {
+  std::vector<std::uint32_t> procs(cluster.begin(), cluster.end());
+  const auto msgs = make_messages(rng, opts, procs);
+  std::vector<std::vector<std::uint32_t>> deliverers(opts.n_msgs, procs);
+  return layout_total_order(rng, msgs, deliverers, false);
+}
+
+Trace gen_sparse_trace(Rng& rng, const GenOptions& opts) {
+  const auto procs = all_procs(opts.n_procs);
+  const auto msgs = make_messages(rng, opts, procs);
+  Trace tr;
+  for (const Blue& b : msgs) {
+    tr.push_back(send_ev(b.sender, b.seq, b.body));
+  }
+  // Deliver each message at a random subset, spliced at random positions
+  // after the send.
+  for (const Blue& b : msgs) {
+    for (std::uint32_t p : procs) {
+      if (!rng.chance(0.6)) continue;
+      // Position strictly after the send of b.
+      std::size_t send_pos = 0;
+      for (std::size_t i = 0; i < tr.size(); ++i) {
+        if (tr[i].is_send() && tr[i].msg.sender == b.sender && tr[i].msg.seq == b.seq) {
+          send_pos = i;
+          break;
+        }
+      }
+      const std::size_t pos = send_pos + 1 + rng.index(tr.size() - send_pos);
+      tr.insert(tr.begin() + static_cast<std::ptrdiff_t>(pos),
+                deliver_ev(p, b.sender, b.seq, b.body));
+    }
+  }
+  return tr;
+}
+
+Trace gen_causal_trace(Rng& rng, const GenOptions& opts) {
+  const auto procs = all_procs(opts.n_procs);
+  const auto msgs = make_messages(rng, opts, procs);
+  Trace tr;
+  // ancestors[g]: transitive causal predecessors of message g (indices).
+  std::vector<std::set<std::size_t>> ancestors(msgs.size());
+  // Per process: indices sent or delivered, in order (the causal context),
+  // and the set of delivered indices.
+  std::vector<std::set<std::size_t>> delivered_at(opts.n_procs);
+  std::vector<std::vector<std::size_t>> context(opts.n_procs);
+  std::size_t next_send = 0;
+  std::size_t remaining_deliveries = msgs.size() * opts.n_procs;
+
+  const auto deliverable = [&](std::uint32_t q, std::size_t g) {
+    if (next_send <= g) return false;                // not sent yet
+    if (delivered_at[q].count(g) > 0) return false;  // already delivered
+    for (std::size_t anc : ancestors[g]) {
+      if (delivered_at[q].count(anc) == 0) return false;
+    }
+    return true;
+  };
+
+  while (next_send < msgs.size() || remaining_deliveries > 0) {
+    // Collect possible deliveries.
+    std::vector<std::pair<std::uint32_t, std::size_t>> ready;
+    for (std::uint32_t q = 0; q < opts.n_procs; ++q) {
+      for (std::size_t g = 0; g < next_send; ++g) {
+        if (deliverable(q, g)) ready.emplace_back(q, g);
+      }
+    }
+    const bool can_send = next_send < msgs.size();
+    if (can_send && (ready.empty() || rng.chance(0.35))) {
+      const std::size_t g = next_send++;
+      const Blue& b = msgs[g];
+      // Causal context of the send: everything its sender has seen.
+      for (std::size_t seen : context[b.sender]) {
+        ancestors[g].insert(seen);
+        ancestors[g].insert(ancestors[seen].begin(), ancestors[seen].end());
+      }
+      context[b.sender].push_back(g);
+      tr.push_back(send_ev(b.sender, b.seq, b.body));
+      continue;
+    }
+    if (ready.empty()) break;  // all done
+    const auto [q, g] = ready[rng.index(ready.size())];
+    const Blue& b = msgs[g];
+    delivered_at[q].insert(g);
+    context[q].push_back(g);
+    --remaining_deliveries;
+    tr.push_back(deliver_ev(q, b.sender, b.seq, b.body));
+  }
+  return tr;
+}
+
+std::vector<Trace> standard_corpus(Rng& rng, std::size_t per_family, std::uint32_t n_procs) {
+  std::vector<Trace> corpus;
+  std::uint64_t base = 0;
+  constexpr std::uint64_t kStride = 1000;  // keeps trace id-spaces disjoint
+
+  std::set<std::uint32_t> cluster;
+  for (std::uint32_t p = 0; p < n_procs; ++p) cluster.insert(p);
+
+  for (std::size_t k = 0; k < per_family; ++k) {
+    GenOptions opts;
+    opts.n_procs = n_procs;
+    opts.n_msgs = 2 + static_cast<std::uint32_t>(rng.index(6));
+
+    opts.seq_base = base += kStride;
+    opts.delivery = GenOptions::Delivery::kAll;
+    corpus.push_back(gen_total_order_trace(rng, opts));
+
+    opts.seq_base = base += kStride;
+    opts.delivery = GenOptions::Delivery::kPrefix;
+    corpus.push_back(gen_total_order_trace(rng, opts));
+    opts.delivery = GenOptions::Delivery::kAll;
+
+    opts.seq_base = base += kStride;
+    corpus.push_back(gen_priority_trace(rng, opts));
+
+    opts.seq_base = base += kStride;
+    corpus.push_back(gen_amoeba_trace(rng, opts));
+
+    opts.seq_base = base += kStride;
+    corpus.push_back(gen_vsync_trace(rng, opts));
+
+    opts.seq_base = base += kStride;
+    corpus.push_back(gen_cluster_trace(rng, opts, cluster));
+
+    // Sparse traces with a shared small body pool: different traces can
+    // carry equal bodies under different ids (No Replay composability).
+    opts.seq_base = base += kStride;
+    opts.body_pool = 4;
+    corpus.push_back(gen_sparse_trace(rng, opts));
+    opts.body_pool = 0;
+
+    opts.seq_base = base += kStride;
+    corpus.push_back(gen_causal_trace(rng, opts));
+  }
+  return corpus;
+}
+
+}  // namespace msw

@@ -1,0 +1,78 @@
+// Trace corpora for the meta-property checker.
+//
+// check_preservation only uses corpus traces on which the property under
+// test already holds, so the corpus mixes several structured families —
+// each family constructed to satisfy a cluster of Table 1 properties while
+// exhibiting the event adjacencies that expose the ✗ entries of Table 2
+// (e.g. a master delivery immediately followed by another process's
+// delivery of the same message, or a process that skips a view).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+struct GenOptions {
+  std::uint32_t n_procs = 4;
+  std::uint32_t n_msgs = 6;
+  /// Message ids start here; distinct bases make corpus traces pairwise
+  /// message-disjoint, as the composability check requires.
+  std::uint64_t seq_base = 0;
+  /// 0: every message gets a unique body. >0: bodies are drawn without
+  /// replacement from a shared pool of this size, so different *traces*
+  /// can deliver equal bodies under different message ids — the raw
+  /// material of the No Replay composability counterexample.
+  std::uint32_t body_pool = 0;
+
+  enum class Delivery {
+    kAll,     // every process delivers every message (reliable)
+    kPrefix,  // each process delivers a random prefix of the global order
+  };
+  Delivery delivery = Delivery::kAll;
+};
+
+/// Totally ordered delivery: all processes deliver common messages in one
+/// global order. Satisfies Total Order, Integrity/Confidentiality (all
+/// processes trusted), No Replay; Reliability too with Delivery::kAll.
+Trace gen_total_order_trace(Rng& rng, const GenOptions& opts);
+
+/// As above, but process 0 (the master) always delivers first, with other
+/// deliveries often immediately adjacent. Satisfies Prioritized Delivery.
+Trace gen_priority_trace(Rng& rng, const GenOptions& opts);
+
+/// Senders gated on the delivery of their own previous message; own
+/// deliveries frequently immediately precede the next send. The final
+/// message of a process is sometimes left in flight. Satisfies Amoeba.
+Trace gen_amoeba_trace(Rng& rng, const GenOptions& opts);
+
+/// View-partitioned delivery with view notifications; some processes skip
+/// views (they are not members of every view). Satisfies Virtual
+/// Synchrony.
+Trace gen_vsync_trace(Rng& rng, const GenOptions& opts);
+
+/// Only processes in `cluster` send and deliver. Satisfies Integrity and
+/// Confidentiality with respect to trusted = cluster.
+Trace gen_cluster_trace(Rng& rng, const GenOptions& opts,
+                        const std::set<std::uint32_t>& cluster);
+
+/// Unstructured: random sends, each delivered at a random subset of
+/// processes somewhere after its send. Satisfies No Replay and little else.
+Trace gen_sparse_trace(Rng& rng, const GenOptions& opts);
+
+/// Causally ordered but deliberately NOT totally ordered: every process
+/// delivers every message in some random linear extension of the causal
+/// order, so concurrent messages are delivered in different orders at
+/// different processes. Satisfies Causal Order and Reliability.
+Trace gen_causal_trace(Rng& rng, const GenOptions& opts);
+
+/// The default mixed corpus: `per_family` traces of each family above with
+/// varied sizes, pairwise disjoint message-id spaces.
+std::vector<Trace> standard_corpus(Rng& rng, std::size_t per_family,
+                                   std::uint32_t n_procs = 4);
+
+}  // namespace msw

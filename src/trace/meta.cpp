@@ -1,0 +1,92 @@
+#include "trace/meta.hpp"
+
+namespace msw {
+
+char verdict_mark(MetaVerdict v) {
+  switch (v) {
+    case MetaVerdict::kSupported: return 'Y';
+    case MetaVerdict::kRefuted: return 'n';
+    case MetaVerdict::kVacuous: return '?';
+  }
+  return '?';
+}
+
+MetaCheckResult check_preservation(const Property& p, const Relation& r,
+                                   std::span<const Trace> corpus, Rng& rng,
+                                   std::size_t variants_per_trace) {
+  MetaCheckResult res;
+  for (const Trace& below : corpus) {
+    if (!p.holds(below)) continue;
+    ++res.traces_used;
+    for (Trace& above : r.relate(below, rng, variants_per_trace)) {
+      ++res.pairs_checked;
+      if (!p.holds(above)) {
+        res.verdict = MetaVerdict::kRefuted;
+        res.below = below;
+        res.above = std::move(above);
+        return res;
+      }
+    }
+  }
+  res.verdict = res.pairs_checked > 0 ? MetaVerdict::kSupported : MetaVerdict::kVacuous;
+  return res;
+}
+
+MetaCheckResult check_composable(const Property& p, std::span<const Trace> corpus, Rng& rng,
+                                 std::size_t max_pairs) {
+  MetaCheckResult res;
+  std::vector<const Trace*> holding;
+  for (const Trace& tr : corpus) {
+    if (p.holds(tr)) holding.push_back(&tr);
+  }
+  res.traces_used = holding.size();
+  if (holding.size() < 2) {
+    res.verdict = MetaVerdict::kVacuous;
+    return res;
+  }
+  // Systematic over ordered pairs up to the budget, then random.
+  for (std::size_t i = 0; i < holding.size() && res.pairs_checked < max_pairs; ++i) {
+    for (std::size_t j = 0; j < holding.size() && res.pairs_checked < max_pairs; ++j) {
+      if (i == j) continue;
+      const Trace& a = *holding[i];
+      const Trace& b = *holding[j];
+      if (!messages_disjoint(a, b)) continue;
+      ++res.pairs_checked;
+      Trace glued = concatenate(a, b);
+      if (!p.holds(glued)) {
+        res.verdict = MetaVerdict::kRefuted;
+        res.below = a;  // convention: below = first operand
+        res.above = std::move(glued);
+        return res;
+      }
+    }
+  }
+  (void)rng;
+  res.verdict = res.pairs_checked > 0 ? MetaVerdict::kSupported : MetaVerdict::kVacuous;
+  return res;
+}
+
+std::vector<MetaMatrixRow> compute_meta_matrix(
+    const std::vector<std::unique_ptr<Property>>& properties, std::span<const Trace> corpus,
+    Rng& rng, std::size_t variants_per_trace) {
+  const auto relations = standard_relations();
+  std::vector<MetaMatrixRow> rows;
+  rows.reserve(properties.size());
+  for (const auto& prop : properties) {
+    MetaMatrixRow row;
+    row.property = std::string(prop->name());
+    for (std::size_t c = 0; c < relations.size(); ++c) {
+      row.results[c] =
+          check_preservation(*prop, *relations[c], corpus, rng, variants_per_trace);
+    }
+    row.results[5] = check_composable(*prop, corpus, rng);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::array<std::string_view, 6> meta_matrix_columns() {
+  return {"Safety", "Asynchronous", "Send Enabled", "Delayable", "Memoryless", "Composable"};
+}
+
+}  // namespace msw

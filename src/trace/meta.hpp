@@ -1,0 +1,72 @@
+// The meta-property checker (sections 5 and 6).
+//
+// The paper proves with Nuprl that properties satisfying all six
+// meta-properties are preserved by the switching protocol. This module is
+// the executable counterpart: for a property P and relation R it *tests*
+// preservation over a corpus of P-satisfying traces, producing either
+// "no counterexample found over N pairs" or a concrete (tr_below,
+// tr_above) witness of non-preservation. Every ✗ entry of Table 2 is
+// re-derived as such a witness (benchmark E2); ✓ entries are supported by
+// exhaustive-for-small-traces plus randomized sampling.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/properties.hpp"
+#include "trace/relations.hpp"
+
+namespace msw {
+
+enum class MetaVerdict {
+  /// No counterexample over the sampled pairs (consistent with "satisfies
+  /// the meta-property").
+  kSupported,
+  /// A concrete counterexample was found: the property does NOT satisfy
+  /// the meta-property.
+  kRefuted,
+  /// The corpus contained no trace satisfying the property — the check is
+  /// vacuous and the corpus must be extended.
+  kVacuous,
+};
+
+char verdict_mark(MetaVerdict v);
+
+struct MetaCheckResult {
+  MetaVerdict verdict = MetaVerdict::kVacuous;
+  std::size_t traces_used = 0;   // corpus traces satisfying P
+  std::size_t pairs_checked = 0;
+  /// Present iff refuted: the witness pair.
+  std::optional<Trace> below;
+  std::optional<Trace> above;
+};
+
+/// Preservation of `p` under unary relation `r` over the corpus.
+MetaCheckResult check_preservation(const Property& p, const Relation& r,
+                                   std::span<const Trace> corpus, Rng& rng,
+                                   std::size_t variants_per_trace = 16);
+
+/// Composability: P(tr1) ∧ P(tr2) ∧ disjoint ⇒ P(tr1 · tr2), over corpus
+/// pairs.
+MetaCheckResult check_composable(const Property& p, std::span<const Trace> corpus, Rng& rng,
+                                 std::size_t max_pairs = 4096);
+
+/// One Table 2 row: the five unary relations in standard order, then
+/// Composable.
+struct MetaMatrixRow {
+  std::string property;
+  std::array<MetaCheckResult, 6> results;
+};
+
+/// The full Table 2: every standard property against every meta-property.
+std::vector<MetaMatrixRow> compute_meta_matrix(
+    const std::vector<std::unique_ptr<Property>>& properties, std::span<const Trace> corpus,
+    Rng& rng, std::size_t variants_per_trace = 16);
+
+/// Column headers matching MetaMatrixRow::results order.
+std::array<std::string_view, 6> meta_matrix_columns();
+
+}  // namespace msw

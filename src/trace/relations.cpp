@@ -1,0 +1,168 @@
+#include "trace/relations.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace msw {
+namespace {
+
+/// Apply up to `steps` random swaps at positions accepted by `swappable`;
+/// returns true if at least one swap happened.
+template <typename SwappablePred>
+bool random_swaps(Trace& tr, Rng& rng, std::size_t steps, const SwappablePred& swappable) {
+  if (tr.size() < 2) return false;
+  bool any = false;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Collect currently swappable adjacent positions.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i + 1 < tr.size(); ++i) {
+      if (swappable(tr[i], tr[i + 1])) candidates.push_back(i);
+    }
+    if (candidates.empty()) break;
+    const std::size_t i = candidates[rng.index(candidates.size())];
+    std::swap(tr[i], tr[i + 1]);
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+std::vector<Trace> PrefixRelation::relate(const Trace& below, Rng& rng,
+                                          std::size_t limit) const {
+  std::vector<Trace> out;
+  if (below.empty()) return out;
+  if (below.size() <= limit) {
+    // Enumerate every proper prefix (plus the empty trace).
+    for (std::size_t n = 0; n < below.size() && out.size() < limit; ++n) {
+      out.emplace_back(below.begin(), below.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  } else {
+    for (std::size_t k = 0; k < limit; ++k) {
+      const std::size_t n = rng.index(below.size());
+      out.emplace_back(below.begin(), below.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  return out;
+}
+
+std::vector<Trace> AsyncSwapRelation::relate(const Trace& below, Rng& rng,
+                                             std::size_t limit) const {
+  const auto swappable = [](const TraceEvent& a, const TraceEvent& b) {
+    return a.process != b.process;
+  };
+  std::vector<Trace> out;
+  // Systematic single swaps first.
+  for (std::size_t i = 0; i + 1 < below.size() && out.size() < limit; ++i) {
+    if (swappable(below[i], below[i + 1])) {
+      Trace t = below;
+      std::swap(t[i], t[i + 1]);
+      out.push_back(std::move(t));
+    }
+  }
+  // Then random multi-step compositions.
+  while (out.size() < limit) {
+    Trace t = below;
+    if (!random_swaps(t, rng, 1 + rng.index(below.size() + 1), swappable)) break;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trace> AppendSendsRelation::relate(const Trace& below, Rng& rng,
+                                               std::size_t limit) const {
+  // Fresh message ids: continue past the largest seq in the trace.
+  std::uint64_t next_seq = 0;
+  for (const auto& e : below) next_seq = std::max(next_seq, e.msg.seq + 1);
+  auto procs = processes_of(below);
+  if (procs.empty()) procs.push_back(0);
+
+  std::vector<Trace> out;
+  for (std::size_t k = 0; k < limit; ++k) {
+    Trace t = below;
+    const std::size_t extra = 1 + rng.index(3);
+    for (std::size_t i = 0; i < extra; ++i) {
+      const std::uint32_t sender = procs[rng.index(procs.size())];
+      t.push_back(send_ev(sender, next_seq++, to_bytes("appended")));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trace> DelaySwapRelation::relate(const Trace& below, Rng& rng,
+                                             std::size_t limit) const {
+  const auto swappable = [](const TraceEvent& a, const TraceEvent& b) {
+    return a.process == b.process && a.kind != b.kind;
+  };
+  std::vector<Trace> out;
+  for (std::size_t i = 0; i + 1 < below.size() && out.size() < limit; ++i) {
+    if (swappable(below[i], below[i + 1])) {
+      Trace t = below;
+      std::swap(t[i], t[i + 1]);
+      out.push_back(std::move(t));
+    }
+  }
+  while (out.size() < limit) {
+    Trace t = below;
+    if (!random_swaps(t, rng, 1 + rng.index(below.size() + 1), swappable)) break;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trace> RemoveMessagesRelation::relate(const Trace& below, Rng& rng,
+                                                  std::size_t limit) const {
+  const auto msgs = messages_of(below);
+  if (msgs.empty()) return {};
+
+  const auto without = [&](const std::set<MsgId>& victims) {
+    Trace t;
+    for (const auto& e : below) {
+      if (victims.count(e.msg) == 0) t.push_back(e);
+    }
+    return t;
+  };
+
+  std::vector<Trace> out;
+  // Every single-message removal (the paper's minimal step).
+  for (const auto& m : msgs) {
+    if (out.size() >= limit) break;
+    out.push_back(without({m}));
+  }
+  // Random subset removals (transitive closure).
+  while (out.size() < limit && msgs.size() > 1) {
+    std::set<MsgId> victims;
+    const std::size_t k = 1 + rng.index(msgs.size());
+    for (std::size_t i = 0; i < k; ++i) victims.insert(msgs[rng.index(msgs.size())]);
+    out.push_back(without(victims));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Relation>> standard_relations() {
+  std::vector<std::unique_ptr<Relation>> rels;
+  rels.push_back(std::make_unique<PrefixRelation>());
+  rels.push_back(std::make_unique<AsyncSwapRelation>());
+  rels.push_back(std::make_unique<AppendSendsRelation>());
+  rels.push_back(std::make_unique<DelaySwapRelation>());
+  rels.push_back(std::make_unique<RemoveMessagesRelation>());
+  return rels;
+}
+
+Trace concatenate(const Trace& a, const Trace& b) {
+  Trace t = a;
+  t.insert(t.end(), b.begin(), b.end());
+  return t;
+}
+
+bool messages_disjoint(const Trace& a, const Trace& b) {
+  const auto ma = messages_of(a);
+  std::set<MsgId> sa(ma.begin(), ma.end());
+  for (const auto& e : b) {
+    if (sa.count(e.msg) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace msw

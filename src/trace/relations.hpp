@@ -1,0 +1,76 @@
+// The trace relations of sections 5 and 6.
+//
+// Each meta-property is "preservation of P under relation R":
+//     P(tr_below)  ∧  tr_above R tr_below   ⇒   P(tr_above).
+// A Relation here generates, from a given tr_below, sample traces related
+// above it — single steps and random multi-step compositions (the paper's
+// relations are reflexive-transitive closures of the single steps).
+// Composability is the odd one out: it relates a *pair* of traces to their
+// concatenation, and is handled by the checker directly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+class Relation {
+ public:
+  virtual ~Relation() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Up to `limit` traces related above `below`. May return fewer (e.g. a
+  /// trace with no swappable pair has no asynchrony variants).
+  virtual std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const = 0;
+};
+
+/// R_safety: tr_above is a prefix of tr_below.
+class PrefixRelation : public Relation {
+ public:
+  std::string_view name() const override { return "Safety"; }
+  std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const override;
+};
+
+/// R_asynchrony: swap adjacent events belonging to different processes.
+class AsyncSwapRelation : public Relation {
+ public:
+  std::string_view name() const override { return "Asynchronous"; }
+  std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const override;
+};
+
+/// R_send_enabled: append new Send events at the end.
+class AppendSendsRelation : public Relation {
+ public:
+  std::string_view name() const override { return "Send Enabled"; }
+  std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const override;
+};
+
+/// R_delayable: swap an adjacent same-process Send/Deliver pair.
+class DelaySwapRelation : public Relation {
+ public:
+  std::string_view name() const override { return "Delayable"; }
+  std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const override;
+};
+
+/// R_memoryless: remove all events pertaining to some set of messages.
+class RemoveMessagesRelation : public Relation {
+ public:
+  std::string_view name() const override { return "Memoryless"; }
+  std::vector<Trace> relate(const Trace& below, Rng& rng, std::size_t limit) const override;
+};
+
+/// The five unary relations in Table 2 column order (Composable, the sixth
+/// column, is binary — see check_composable in trace/meta.hpp).
+std::vector<std::unique_ptr<Relation>> standard_relations();
+
+/// Concatenation for the composability check.
+Trace concatenate(const Trace& a, const Trace& b);
+
+/// True when two traces share no message ids ("no messages in common").
+bool messages_disjoint(const Trace& a, const Trace& b);
+
+}  // namespace msw

@@ -1,0 +1,93 @@
+#include "trace/sp_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "trace/relations.hpp"
+
+namespace msw {
+namespace {
+
+/// One random variant under a unary relation (or the input unchanged when
+/// the relation has no variants for it).
+Trace one_variant(const Relation& r, const Trace& tr, Rng& rng, bool& applied) {
+  auto variants = r.relate(tr, rng, 4);
+  if (variants.empty()) {
+    applied = false;
+    return tr;
+  }
+  applied = true;
+  return std::move(variants[rng.index(variants.size())]);
+}
+
+}  // namespace
+
+std::vector<SpComposition> sp_compositions(const Trace& a, const Trace& b, Rng& rng,
+                                           std::size_t limit) {
+  assert(messages_disjoint(a, b) && "switch glues runs of distinct message sets");
+
+  std::vector<SpComposition> out;
+  if (limit == 0) return out;
+
+  // The identity composite: switch exactly at the end of A.
+  {
+    SpComposition c;
+    c.below_a = a;
+    c.below_b = b;
+    c.above = concatenate(a, b);
+    c.steps = {"Composable"};
+    out.push_back(std::move(c));
+  }
+
+  const PrefixRelation prefix;
+  const RemoveMessagesRelation remove;
+  const AsyncSwapRelation async_swap;
+  const DelaySwapRelation delay_swap;
+  const AppendSendsRelation append_sends;
+
+  while (out.size() < limit) {
+    SpComposition c;
+    c.below_a = a;
+    c.below_b = b;
+    bool applied = false;
+
+    // 1. Safety: the switch cuts A somewhere (keep a prefix, sometimes all
+    //    of it — reflexivity).
+    Trace cut_a = a;
+    if (rng.chance(0.7)) {
+      cut_a = one_variant(prefix, a, rng, applied);
+      if (applied) c.steps.push_back("Safety");
+    }
+    // 2. Memoryless: messages half-processed at the cut disappear.
+    if (rng.chance(0.5)) {
+      cut_a = one_variant(remove, cut_a, rng, applied);
+      if (applied) c.steps.push_back("Memoryless");
+    }
+    // 3. Composable: glue to B's run.
+    Trace glued = concatenate(cut_a, b);
+    c.steps.push_back("Composable");
+    // 4. Asynchrony: global reordering by delays.
+    if (rng.chance(0.7)) {
+      glued = one_variant(async_swap, glued, rng, applied);
+      if (applied) c.steps.push_back("Asynchronous");
+    }
+    // 5. Delayable: local send/deliver reordering by SP's buffering.
+    if (rng.chance(0.7)) {
+      glued = one_variant(delay_swap, glued, rng, applied);
+      if (applied) c.steps.push_back("Delayable");
+    }
+    // 6. Send Enabled: fresh sends at the end, not yet processed by either
+    //    protocol.
+    if (rng.chance(0.5)) {
+      glued = one_variant(append_sends, glued, rng, applied);
+      if (applied) c.steps.push_back("Send Enabled");
+    }
+
+    c.above = std::move(glued);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace msw

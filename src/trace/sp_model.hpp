@@ -1,0 +1,48 @@
+// A pure trace-level model of the switching protocol — the paper's
+// section 6.3 argument, mechanized.
+//
+// When SP switches from a run of protocol A to a run of protocol B, the
+// application-boundary trace it produces is (the paper argues, and Nuprl
+// proves) reachable from the two protocols' traces by composing exactly
+// the six meta-property relations:
+//
+//   1. Safety      — only a prefix of A's behaviour happens before the cut;
+//   2. Memoryless  — messages straddling the cut may vanish from B's view;
+//   3. Composable  — the surviving A-prefix is glued to B's trace;
+//   4. Asynchronous— layering delays reorder events of different processes;
+//   5. Delayable   — SP's buffering reorders local sends vs. deliveries;
+//   6. Send Enabled— sends submitted at the end are not yet processed.
+//
+// sp_compositions() enumerates random composites via those steps. The
+// accompanying tests state the paper's theorem as an executable check: a
+// property satisfying all six meta-properties holds on EVERY composite of
+// two traces it holds on — while properties outside the class (Virtual
+// Synchrony, No Replay, Amoeba) are violated by some composite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+
+struct SpComposition {
+  /// The two protocol runs being switched between.
+  Trace below_a;
+  Trace below_b;
+  /// One application-boundary trace SP could produce.
+  Trace above;
+  /// Which relation steps were applied, in order (diagnostics).
+  std::vector<std::string> steps;
+};
+
+/// Up to `limit` composites of `a` then `b` (which must be message-
+/// disjoint). Each composite applies the six steps with randomized
+/// parameters; the identity composite (plain concatenation) is always
+/// included first.
+std::vector<SpComposition> sp_compositions(const Trace& a, const Trace& b, Rng& rng,
+                                           std::size_t limit);
+
+}  // namespace msw

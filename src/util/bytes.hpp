@@ -1,0 +1,123 @@
+// Byte-buffer primitives and forward-only serialization.
+//
+// All wire formats in this library are built from the little-endian
+// fixed-width encoders below. Headers are appended to the *tail* of a
+// message buffer on the way down a protocol stack and popped from the tail
+// on the way up (see stack/message.hpp), so both Writer and Reader here are
+// simple forward cursors over a contiguous byte range.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msw {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+
+/// Thrown when a Reader runs past the end of its buffer or a length prefix
+/// is inconsistent. Protocol layers treat this as a malformed packet.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values to a Bytes buffer.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix. The caller must know the length on read.
+  void raw(std::span<const Byte> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const Byte> b);
+
+  /// Length-prefixed (u32) character string.
+  void str(std::string_view s);
+
+  /// Number of bytes written through this Writer so far is not tracked;
+  /// callers needing sizes should snapshot out().size().
+  const Bytes& out() const { return out_; }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<Byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  Bytes& out_;
+};
+
+/// Forward cursor over a byte range. Throws DecodeError on underflow.
+class Reader {
+ public:
+  explicit Reader(std::span<const Byte> in) : in_(in) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  bool boolean() { return u8() != 0; }
+
+  /// Raw bytes of known length.
+  std::span<const Byte> raw(std::size_t n) { return take(n); }
+
+  /// Length-prefixed (u32) byte string, copied out.
+  Bytes bytes();
+
+  /// Length-prefixed (u32) character string.
+  std::string str();
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+  /// Asserts the buffer is fully consumed; protocol layers call this after
+  /// decoding a header to catch format drift early.
+  void expect_done() const;
+
+ private:
+  std::span<const Byte> take(std::size_t n);
+
+  template <typename T>
+  T get_le() {
+    auto b = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(b[i]) << (8 * i));
+    }
+    return v;
+  }
+
+  std::span<const Byte> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: build a Bytes from a string literal / string_view body.
+Bytes to_bytes(std::string_view s);
+
+/// Convenience: render bytes as printable text (non-printables escaped).
+std::string to_string(std::span<const Byte> b);
+
+/// Hex dump, for diagnostics.
+std::string to_hex(std::span<const Byte> b);
+
+}  // namespace msw

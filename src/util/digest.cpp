@@ -1,0 +1,43 @@
+#include "util/digest.hpp"
+
+namespace msw {
+
+std::uint64_t fnv1a(std::span<const Byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (Byte b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mac(std::uint64_t key, std::uint32_t sender, std::span<const Byte> data) {
+  std::uint64_t h = fnv1a(data);
+  // Mix in key and sender with a couple of avalanche rounds.
+  h ^= key;
+  h ^= static_cast<std::uint64_t>(sender) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+void stream_crypt(std::uint64_t key, std::uint64_t nonce, std::span<Byte> data) {
+  std::uint64_t state = key ^ (nonce * 0xda942042e4dd58b5ULL);
+  if (state == 0) state = 0x2545f4914f6cdd1dULL;
+  std::uint64_t ks = 0;
+  int avail = 0;
+  for (Byte& b : data) {
+    if (avail == 0) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      ks = state;
+      avail = 8;
+    }
+    b ^= static_cast<Byte>(ks & 0xff);
+    ks >>= 8;
+    --avail;
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,29 @@
+// Simulated cryptographic primitives.
+//
+// The paper's Integrity and Confidentiality layers depend only on the
+// *presence* of a verifiable tag and a key-reversible transform, not on
+// cryptographic strength (see DESIGN.md, substitution table). These
+// primitives are FNV/xorshift based: deterministic, collision-resistant
+// enough for simulation, and emphatically NOT secure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace msw {
+
+/// FNV-1a 64-bit digest of a byte range.
+std::uint64_t fnv1a(std::span<const Byte> data);
+
+/// Keyed message-authentication code: digest bound to a 64-bit key and to
+/// the claimed sender id, so a forger without the key (or lying about the
+/// sender) produces a tag that fails verification.
+std::uint64_t mac(std::uint64_t key, std::uint32_t sender, std::span<const Byte> data);
+
+/// In-place keyed stream cipher (xorshift keystream seeded by key and nonce).
+/// Applying twice with the same key and nonce restores the plaintext.
+void stream_crypt(std::uint64_t key, std::uint64_t nonce, std::span<Byte> data);
+
+}  // namespace msw

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace msw {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Log::write(LogLevel lvl, std::string_view component, std::int64_t sim_time_us,
+                std::string_view message) {
+  if (lvl < g_level) return;
+  if (sim_time_us >= 0) {
+    std::fprintf(stderr, "[%s] %10.3fms %-10.*s %.*s\n", level_name(lvl),
+                 static_cast<double>(sim_time_us) / 1000.0, static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[%s] %-10.*s %.*s\n", level_name(lvl), static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(message.size()), message.data());
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,50 @@
+// Minimal leveled logger for simulation diagnostics.
+//
+// Logging is off by default (kWarn) so tests and benches stay quiet;
+// examples turn on kInfo to narrate protocol behaviour. Messages carry the
+// simulated timestamp when the caller supplies one.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace msw {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Emit a line if lvl is at or above the global threshold. `sim_time_us`
+  /// < 0 means "no simulated clock available".
+  static void write(LogLevel lvl, std::string_view component, std::int64_t sim_time_us,
+                    std::string_view message);
+};
+
+/// Stream-style helper: MSW_LOG(kInfo, "switch", now) << "entering PREPARE";
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view component, std::int64_t sim_time_us)
+      : lvl_(lvl), component_(component), time_(sim_time_us) {}
+  ~LogLine() { Log::write(lvl_, component_, time_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (lvl_ >= Log::level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string component_;
+  std::int64_t time_;
+  std::ostringstream os_;
+};
+
+}  // namespace msw
+
+#define MSW_LOG(lvl, component, sim_time_us) ::msw::LogLine(::msw::LogLevel::lvl, component, sim_time_us)

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the library (network jitter, loss,
+// workload generation, trace corpora) flows from a seeded Rng so that
+// simulations, tests, and benchmarks are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msw {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; see util/digest.hpp
+/// for the (simulated) keyed primitives.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Pick an index into a non-empty container of the given size.
+  std::size_t index(std::size_t size);
+
+  /// Fork an independent stream (for per-node generators).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace msw

@@ -1,0 +1,54 @@
+// Tracks which sequence numbers from a dense stream have been seen:
+// a contiguous prefix [0, contiguous) plus a sparse set beyond it.
+// Used for duplicate suppression and gap detection by the reliable,
+// sequencer, and token layers.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace msw {
+
+class SeqTracker {
+ public:
+  /// Marks seq as seen. Returns false if it was already seen (duplicate).
+  bool insert(std::uint64_t seq) {
+    if (seen(seq)) return false;
+    if (seq == contiguous_) {
+      ++contiguous_;
+      while (!sparse_.empty() && *sparse_.begin() == contiguous_) {
+        sparse_.erase(sparse_.begin());
+        ++contiguous_;
+      }
+    } else {
+      sparse_.insert(seq);
+    }
+    return true;
+  }
+
+  bool seen(std::uint64_t seq) const {
+    return seq < contiguous_ || sparse_.count(seq) > 0;
+  }
+
+  /// One past the largest seq in the fully-seen prefix.
+  std::uint64_t contiguous() const { return contiguous_; }
+
+  /// Sequences in [contiguous, bound) not yet seen, up to `limit` of them.
+  std::vector<std::uint64_t> missing_below(std::uint64_t bound, std::size_t limit) const {
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t s = contiguous_; s < bound && out.size() < limit; ++s) {
+      if (!seen(s)) out.push_back(s);
+    }
+    return out;
+  }
+
+  bool has_gaps() const { return !sparse_.empty(); }
+  std::size_t sparse_count() const { return sparse_.size(); }
+
+ private:
+  std::uint64_t contiguous_ = 0;
+  std::set<std::uint64_t> sparse_;
+};
+
+}  // namespace msw

@@ -1,0 +1,83 @@
+// End-to-end determinism: the whole stack — scheduler tie-breaking, RNG
+// forking, network jitter/loss, protocol timers, SP token rotation — must
+// reproduce bit-identical traces for a given seed. Every experiment in
+// EXPERIMENTS.md rests on this.
+#include <gtest/gtest.h>
+
+#include "harness/workload.hpp"
+#include "helpers.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+Trace run_scenario(std::uint64_t seed) {
+  GroupHarness h(5, make_hybrid_total_order_factory(), testing::lossy_net(0.1), seed);
+  Rng rng(seed + 1);
+  for (int k = 0; k < 30; ++k) {
+    const std::size_t sender = rng.index(5);
+    h.sim.scheduler().at(static_cast<Time>(rng.below(800)) * kMillisecond, [&h, sender, k] {
+      h.group.send(sender, to_bytes("d" + std::to_string(k)));
+    });
+  }
+  h.sim.scheduler().at(300 * kMillisecond,
+                       [&h] { switch_layer_of(h.group.stack(2)).request_switch(); });
+  h.sim.run_for(20 * kSecond);
+  return h.group.trace();
+}
+
+bool traces_identical_with_times(const Trace& a, const Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i]) || a[i].time != b[i].time) return false;
+  }
+  return true;
+}
+
+TEST(Determinism, IdenticalSeedIdenticalTrace) {
+  const Trace first = run_scenario(77);
+  const Trace second = run_scenario(77);
+  EXPECT_TRUE(traces_identical_with_times(first, second))
+      << "a seeded run must be bit-reproducible, timestamps included";
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const Trace a = run_scenario(77);
+  const Trace b = run_scenario(78);
+  EXPECT_FALSE(traces_identical_with_times(a, b))
+      << "jitter and loss must actually depend on the seed";
+}
+
+TEST(Determinism, WorkloadHarnessIsReproducible) {
+  const auto run = [] {
+    Simulation sim(9);
+    Network net(sim.scheduler(), sim.fork_rng(), testing::era_net());
+    Group group(sim, net, 6, make_sequencer_factory());
+    group.start();
+    WorkloadConfig cfg;
+    cfg.senders = 3;
+    cfg.duration = 2 * kSecond;
+    cfg.poisson = true;
+    const auto res = run_workload(sim, group, cfg);
+    return std::make_tuple(res.sent, res.delivered, res.latency_ms.mean());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, NetworkStatsReproducible) {
+  const auto run = [] {
+    GroupHarness h(4, make_token_factory(), testing::lossy_net(0.2), 31);
+    for (int i = 0; i < 10; ++i) h.group.send(i % 4, to_bytes("n" + std::to_string(i)));
+    h.sim.run_for(5 * kSecond);
+    const auto& s = h.net.stats();
+    return std::make_tuple(s.unicasts_sent, s.multicasts_sent, s.copies_delivered,
+                           s.copies_dropped_loss, s.bytes_on_wire);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,72 @@
+// Simulated crypto primitives: digest stability, MAC binding, stream
+// cipher reversibility.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/digest.hpp"
+
+namespace msw {
+namespace {
+
+TEST(Digest, Deterministic) {
+  const Bytes a = to_bytes("payload");
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+}
+
+TEST(Digest, ContentSensitive) {
+  EXPECT_NE(fnv1a(to_bytes("payload")), fnv1a(to_bytes("payloae")));
+  EXPECT_NE(fnv1a(to_bytes("")), fnv1a(to_bytes("x")));
+}
+
+TEST(Mac, VerifiesWithSameInputs) {
+  const Bytes body = to_bytes("attack at dawn");
+  EXPECT_EQ(mac(123, 7, body), mac(123, 7, body));
+}
+
+TEST(Mac, BoundToKey) {
+  const Bytes body = to_bytes("attack at dawn");
+  EXPECT_NE(mac(123, 7, body), mac(124, 7, body));
+}
+
+TEST(Mac, BoundToSender) {
+  const Bytes body = to_bytes("attack at dawn");
+  EXPECT_NE(mac(123, 7, body), mac(123, 8, body));
+}
+
+TEST(Mac, BoundToContent) {
+  EXPECT_NE(mac(123, 7, to_bytes("a")), mac(123, 7, to_bytes("b")));
+}
+
+TEST(StreamCrypt, RoundTrips) {
+  Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  const Bytes original = data;
+  stream_crypt(99, 1, data);
+  EXPECT_NE(data, original);
+  stream_crypt(99, 1, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(StreamCrypt, WrongKeyDoesNotDecrypt) {
+  Bytes data = to_bytes("secret");
+  const Bytes original = data;
+  stream_crypt(99, 1, data);
+  stream_crypt(100, 1, data);
+  EXPECT_NE(data, original);
+}
+
+TEST(StreamCrypt, NonceChangesCiphertext) {
+  Bytes a = to_bytes("same plaintext");
+  Bytes b = a;
+  stream_crypt(99, 1, a);
+  stream_crypt(99, 2, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCrypt, EmptyBufferIsNoop) {
+  Bytes empty;
+  stream_crypt(99, 1, empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,140 @@
+// Trace generators: every family must actually satisfy the properties it
+// is documented to satisfy (parameterized across seeds), and corpus traces
+// must be pairwise message-disjoint.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "trace/generators.hpp"
+#include "trace/properties.hpp"
+#include "trace/relations.hpp"
+
+namespace msw {
+namespace {
+
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, TotalOrderFamilySatisfiesItsProperties) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 6;
+  const Trace tr = gen_total_order_trace(rng, opts);
+  EXPECT_TRUE(well_formed(tr));
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+  EXPECT_TRUE(NoReplayProperty().holds(tr));
+  std::vector<std::uint32_t> group(4);
+  std::iota(group.begin(), group.end(), 0);
+  EXPECT_TRUE(ReliabilityProperty(group).holds(tr));
+}
+
+TEST_P(GeneratorSeeds, PrefixDeliveryStillTotallyOrderedButUnreliable) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 8;
+  opts.delivery = GenOptions::Delivery::kPrefix;
+  const Trace tr = gen_total_order_trace(rng, opts);
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+TEST_P(GeneratorSeeds, PriorityFamilySatisfiesPrioritizedDelivery) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 6;
+  const Trace tr = gen_priority_trace(rng, opts);
+  EXPECT_TRUE(well_formed(tr));
+  EXPECT_TRUE(PrioritizedDeliveryProperty(0).holds(tr));
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+TEST_P(GeneratorSeeds, AmoebaFamilySatisfiesAmoeba) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 8;
+  const Trace tr = gen_amoeba_trace(rng, opts);
+  EXPECT_TRUE(well_formed(tr));
+  EXPECT_TRUE(AmoebaProperty().holds(tr));
+}
+
+TEST_P(GeneratorSeeds, VsyncFamilySatisfiesVirtualSynchrony) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 4;
+  const Trace tr = gen_vsync_trace(rng, opts);
+  EXPECT_TRUE(well_formed(tr));
+  EXPECT_TRUE(VirtualSynchronyProperty().holds(tr));
+  EXPECT_TRUE(NoReplayProperty().holds(tr));
+}
+
+TEST_P(GeneratorSeeds, ClusterFamilyConfidentialToCluster) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 5;
+  const std::set<std::uint32_t> cluster = {0, 1};
+  const Trace tr = gen_cluster_trace(rng, opts, cluster);
+  EXPECT_TRUE(ConfidentialityProperty(cluster).holds(tr));
+  EXPECT_TRUE(IntegrityProperty(cluster).holds(tr));
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+TEST_P(GeneratorSeeds, SparseFamilySatisfiesNoReplay) {
+  Rng rng(GetParam());
+  GenOptions opts;
+  opts.n_procs = 4;
+  opts.n_msgs = 6;
+  opts.body_pool = 4;
+  const Trace tr = gen_sparse_trace(rng, opts);
+  EXPECT_TRUE(well_formed(tr));
+  EXPECT_TRUE(NoReplayProperty().holds(tr));
+  // Every deliver comes strictly after its send.
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    if (!tr[i].is_deliver()) continue;
+    bool sent_before = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tr[j].is_send() && tr[j].msg == tr[i].msg) sent_before = true;
+    }
+    EXPECT_TRUE(sent_before) << "deliver before send at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Corpus, TracesArePairwiseMessageDisjoint) {
+  Rng rng(4);
+  const auto corpus = standard_corpus(rng, 4, 4);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_TRUE(messages_disjoint(corpus[i], corpus[j]))
+          << "corpus traces " << i << " and " << j << " share message ids";
+    }
+  }
+}
+
+TEST(Corpus, CoversEveryPropertyNonVacuously) {
+  Rng rng(6);
+  const auto corpus = standard_corpus(rng, 8, 4);
+  for (const auto& prop : standard_properties(4)) {
+    std::size_t holding = 0;
+    for (const auto& tr : corpus) {
+      if (prop->holds(tr)) ++holding;
+    }
+    EXPECT_GE(holding, 2u) << prop->name() << " has too little corpus support";
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  Rng a(11), b(11);
+  const auto c1 = standard_corpus(a, 2, 4);
+  const auto c2 = standard_corpus(b, 2, 4);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
+}  // namespace
+}  // namespace msw

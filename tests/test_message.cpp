@@ -1,0 +1,101 @@
+// Message header push/pop discipline and the application header.
+#include <gtest/gtest.h>
+
+#include "stack/message.hpp"
+
+namespace msw {
+namespace {
+
+TEST(Message, GroupAndP2pConstruction) {
+  const Message g = Message::group(to_bytes("body"));
+  EXPECT_FALSE(g.is_p2p());
+  const Message p = Message::p2p(NodeId{3}, to_bytes("body"));
+  ASSERT_TRUE(p.is_p2p());
+  EXPECT_EQ(p.point_to->v, 3u);
+}
+
+TEST(Message, PushPopSingleHeader) {
+  Message m = Message::group(to_bytes("body"));
+  m.push_header([](Writer& w) {
+    w.u32(42);
+    w.str("hdr");
+  });
+  std::uint32_t v = 0;
+  std::string s;
+  m.pop_header([&](Reader& r) {
+    v = r.u32();
+    s = r.str();
+  });
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(s, "hdr");
+  EXPECT_EQ(m.data, to_bytes("body"));
+}
+
+TEST(Message, HeadersAreLifo) {
+  Message m = Message::group(to_bytes("payload"));
+  m.push_header([](Writer& w) { w.u8(1); });
+  m.push_header([](Writer& w) { w.u8(2); });
+  m.push_header([](Writer& w) { w.u8(3); });
+  std::vector<int> popped;
+  for (int i = 0; i < 3; ++i) {
+    m.pop_header([&](Reader& r) { popped.push_back(r.u8()); });
+  }
+  EXPECT_EQ(popped, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(m.data, to_bytes("payload"));
+}
+
+TEST(Message, EmptyHeaderRoundTrips) {
+  Message m = Message::group(to_bytes("x"));
+  m.push_header([](Writer&) {});
+  m.pop_header([](Reader&) {});
+  EXPECT_EQ(m.data, to_bytes("x"));
+}
+
+TEST(Message, PopOnBareBufferThrows) {
+  Message m = Message::group(to_bytes("ab"));  // 2 bytes < length word
+  EXPECT_THROW(m.pop_header([](Reader&) {}), DecodeError);
+}
+
+TEST(Message, PopWithCorruptLengthThrows) {
+  Message m = Message::group({});
+  m.push_header([](Writer& w) { w.u32(7); });
+  // Corrupt the trailing length word to exceed the buffer.
+  m.data.back() = 0xff;
+  EXPECT_THROW(m.pop_header([](Reader&) {}), DecodeError);
+}
+
+TEST(Message, PopMustConsumeExactly) {
+  Message m = Message::group({});
+  m.push_header([](Writer& w) { w.u32(7); });
+  // Reading less than the full header is a format error.
+  EXPECT_THROW(m.pop_header([](Reader& r) { r.u16(); }), DecodeError);
+}
+
+TEST(Message, LargeBodySurvivesHeaderCycle) {
+  Bytes big(100'000, 0x5a);
+  Message m = Message::group(big);
+  m.push_header([](Writer& w) { w.u64(1); });
+  m.pop_header([](Reader& r) { r.u64(); });
+  EXPECT_EQ(m.data, big);
+}
+
+TEST(AppHeader, RoundTrip) {
+  Message m = Message::group(to_bytes("body"));
+  AppHeader::push(m, AppHeader{AppHeader::Kind::kData, 7, 123});
+  const AppHeader h = AppHeader::pop(m);
+  EXPECT_EQ(h.kind, AppHeader::Kind::kData);
+  EXPECT_EQ(h.sender, 7u);
+  EXPECT_EQ(h.seq, 123u);
+  EXPECT_EQ(m.data, to_bytes("body"));
+}
+
+TEST(AppHeader, ViewKindRoundTrip) {
+  Message m = Message::group({});
+  AppHeader::push(m, AppHeader{AppHeader::Kind::kView, 0, 5});
+  const AppHeader h = AppHeader::pop(m);
+  EXPECT_EQ(h.kind, AppHeader::Kind::kView);
+  EXPECT_EQ(h.seq, 5u);
+}
+
+}  // namespace
+}  // namespace msw

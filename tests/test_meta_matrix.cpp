@@ -1,0 +1,223 @@
+// The meta-property checker and the Table 2 classification.
+//
+// Every ✗ entry of the paper's Table 2 is re-derived here twice: once from
+// a hand-built minimal witness (deterministic), and once by the corpus
+// search (the full matrix test). Every ✓ entry must come back
+// counterexample-free over the standard corpus.
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/meta.hpp"
+
+namespace msw {
+namespace {
+
+MetaCheckResult check_one(const Property& p, const Relation& r, Trace witness,
+                          std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const std::vector<Trace> corpus = {std::move(witness)};
+  return check_preservation(p, r, corpus, rng, 64);
+}
+
+// ------------------------------------------------- hand-built ✗ witnesses
+
+TEST(MetaWitness, ReliabilityIsNotSafe) {
+  // Chop off the deliveries and the sent message is no longer delivered.
+  const Trace witness = {send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0)};
+  const auto res = check_one(ReliabilityProperty({0, 1}), PrefixRelation(), witness);
+  ASSERT_EQ(res.verdict, MetaVerdict::kRefuted);
+  ASSERT_TRUE(res.above.has_value());
+  EXPECT_LT(res.above->size(), witness.size());
+}
+
+TEST(MetaWitness, ReliabilityIsNotSendEnabled) {
+  const Trace witness = {send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0)};
+  const auto res = check_one(ReliabilityProperty({0, 1}), AppendSendsRelation(), witness);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+TEST(MetaWitness, PrioritizedDeliveryIsNotAsynchronous) {
+  // The master's delivery and another's are adjacent, different processes:
+  // one swap reverses who was first (the paper's section 5.2 example).
+  const Trace witness = {send_ev(1, 0), deliver_ev(0, 1, 0), deliver_ev(2, 1, 0)};
+  const auto res = check_one(PrioritizedDeliveryProperty(0), AsyncSwapRelation(), witness);
+  ASSERT_EQ(res.verdict, MetaVerdict::kRefuted);
+  EXPECT_FALSE(PrioritizedDeliveryProperty(0).holds(*res.above));
+}
+
+TEST(MetaWitness, AmoebaIsNotDelayable) {
+  // Deliver(own) adjacent to the next Send, same process: swapping them
+  // puts two sends back to back (section 5.3).
+  const Trace witness = {send_ev(0, 0), deliver_ev(0, 0, 0), send_ev(0, 1),
+                         deliver_ev(0, 0, 1)};
+  const auto res = check_one(AmoebaProperty(), DelaySwapRelation(), witness);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+TEST(MetaWitness, AmoebaIsNotSendEnabled) {
+  // Appending a send while one is outstanding violates the block
+  // (section 5.4).
+  const Trace witness = {send_ev(0, 0)};
+  const auto res = check_one(AmoebaProperty(), AppendSendsRelation(), witness);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+TEST(MetaWitness, VirtualSynchronyIsNotMemoryless) {
+  // p moves v1 -> v2 -> v3; q skips v2. Removing the v2 view message makes
+  // (v1,v3) a common consecutive pair with different contents (section 6.1).
+  const Trace witness = {
+      view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+      send_ev(0, 100, to_bytes("a")), deliver_ev(0, 0, 100, to_bytes("a")),
+      deliver_ev(1, 0, 100, to_bytes("a")),
+      view_deliver_ev(0, 0, 2),  // only p installs v2
+      send_ev(0, 101, to_bytes("b")), deliver_ev(0, 0, 101, to_bytes("b")),
+      view_deliver_ev(0, 0, 3), view_deliver_ev(1, 0, 3),
+  };
+  ASSERT_TRUE(VirtualSynchronyProperty().holds(witness));
+  const auto res = check_one(VirtualSynchronyProperty(), RemoveMessagesRelation(), witness);
+  ASSERT_EQ(res.verdict, MetaVerdict::kRefuted);
+  EXPECT_FALSE(VirtualSynchronyProperty().holds(*res.above));
+}
+
+TEST(MetaWitness, NoReplayIsNotComposable) {
+  // Each trace delivers body "x" once (different message ids): the glued
+  // trace delivers it twice (section 6.2).
+  const Trace tr1 = {send_ev(0, 0, to_bytes("x")), deliver_ev(1, 0, 0, to_bytes("x"))};
+  const Trace tr2 = {send_ev(0, 1, to_bytes("x")), deliver_ev(1, 0, 1, to_bytes("x"))};
+  Rng rng(1);
+  const std::vector<Trace> corpus = {tr1, tr2};
+  const auto res = check_composable(NoReplayProperty(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+TEST(MetaWitness, AmoebaIsNotComposable) {
+  // tr1 ends with an in-flight send by p; tr2 has p sending again. The
+  // awaited delivery can never appear in tr2 (its message is not there).
+  const Trace tr1 = {send_ev(0, 0)};
+  const Trace tr2 = {send_ev(0, 1), deliver_ev(0, 0, 1)};
+  Rng rng(1);
+  const std::vector<Trace> corpus = {tr1, tr2};
+  const auto res = check_composable(AmoebaProperty(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+TEST(MetaWitness, VirtualSynchronyIsNotComposable) {
+  // tr1's trailing epoch is open and asymmetric; tr2's first marker closes
+  // it, exposing the disagreement.
+  const Trace tr1 = {view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+                     send_ev(0, 100, to_bytes("a")), deliver_ev(0, 0, 100, to_bytes("a"))};
+  const Trace tr2 = {view_deliver_ev(0, 0, 2), view_deliver_ev(1, 0, 2)};
+  ASSERT_TRUE(VirtualSynchronyProperty().holds(tr1));
+  ASSERT_TRUE(VirtualSynchronyProperty().holds(tr2));
+  Rng rng(1);
+  const std::vector<Trace> corpus = {tr1, tr2};
+  const auto res = check_composable(VirtualSynchronyProperty(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kRefuted);
+}
+
+// ----------------------------------------------------------- checker basics
+
+TEST(MetaChecker, VacuousWhenNothingHolds) {
+  // A corpus where the property never holds yields a vacuous verdict.
+  const Trace bad = {deliver_ev(1, 9, 0)};  // untrusted sender
+  Rng rng(1);
+  const std::vector<Trace> corpus = {bad};
+  const auto res = check_preservation(IntegrityProperty({0}), PrefixRelation(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kVacuous);
+  EXPECT_EQ(res.traces_used, 0u);
+}
+
+TEST(MetaChecker, SupportedReportsPairCount) {
+  const Trace good = {send_ev(0, 0), deliver_ev(0, 0, 0)};
+  Rng rng(1);
+  const std::vector<Trace> corpus = {good};
+  const auto res = check_preservation(IntegrityProperty({0}), PrefixRelation(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kSupported);
+  EXPECT_GT(res.pairs_checked, 0u);
+}
+
+TEST(MetaChecker, ComposableSkipsOverlappingPairs) {
+  const Trace tr = {send_ev(0, 0, to_bytes("x")), deliver_ev(1, 0, 0, to_bytes("x"))};
+  Rng rng(1);
+  const std::vector<Trace> corpus = {tr, tr};  // identical => never disjoint
+  const auto res = check_composable(NoReplayProperty(), corpus, rng);
+  EXPECT_EQ(res.verdict, MetaVerdict::kVacuous);
+}
+
+// ------------------------------------------------------------ the full table
+
+TEST(Table2, FullMatrixMatchesPaper) {
+  Rng rng(2026);
+  const auto corpus = standard_corpus(rng, 8, 4);
+  const auto props = standard_properties(4);
+  const auto matrix = compute_meta_matrix(props, corpus, rng, 24);
+
+  // Expected verdicts, rows and columns in the paper's Table 2 order:
+  // columns = Safety, Asynchronous, Send Enabled, Delayable, Memoryless,
+  // Composable. 'Y' = satisfies the meta-property (no counterexample),
+  // 'n' = refuted by an explicit counterexample.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"Total Order", "YYYYYY"},
+      {"Integrity", "YYYYYY"},
+      {"Confidentiality", "YYYYYY"},
+      {"Reliability", "nYnYYY"},
+      {"Prioritized Delivery", "YnYYYY"},
+      {"Amoeba", "YYnnYn"},
+      {"Virtual Synchrony", "YYYYnn"},
+      {"No Replay", "YYYYYn"},
+  };
+  ASSERT_EQ(matrix.size(), expected.size());
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    EXPECT_EQ(matrix[r].property, expected[r].first);
+    for (std::size_t c = 0; c < 6; ++c) {
+      const char want = expected[r].second[c];
+      const char got = verdict_mark(matrix[r].results[c].verdict);
+      EXPECT_EQ(got, want) << matrix[r].property << " / " << meta_matrix_columns()[c]
+                           << " (pairs=" << matrix[r].results[c].pairs_checked << ")";
+      EXPECT_GT(matrix[r].results[c].traces_used, 0u)
+          << matrix[r].property << " had no corpus support for "
+          << meta_matrix_columns()[c];
+    }
+  }
+}
+
+TEST(Table2, RefutationsCarryWitnesses) {
+  Rng rng(7);
+  const auto corpus = standard_corpus(rng, 6, 4);
+  const auto props = standard_properties(4);
+  const auto matrix = compute_meta_matrix(props, corpus, rng, 24);
+  for (const auto& row : matrix) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      if (row.results[c].verdict == MetaVerdict::kRefuted) {
+        ASSERT_TRUE(row.results[c].below.has_value());
+        ASSERT_TRUE(row.results[c].above.has_value());
+        // The witness is genuine: below holds, above does not.
+        const auto& prop = *props[&row - matrix.data()];
+        EXPECT_TRUE(prop.holds(*row.results[c].below));
+        EXPECT_FALSE(prop.holds(*row.results[c].above));
+      }
+    }
+  }
+}
+
+TEST(Table2, SixMetaPropertyClassIsSwitchSafe) {
+  // The paper's theorem: properties satisfying all six meta-properties are
+  // preserved by SP. Check which standard properties qualify.
+  Rng rng(99);
+  const auto corpus = standard_corpus(rng, 8, 4);
+  const auto props = standard_properties(4);
+  const auto matrix = compute_meta_matrix(props, corpus, rng, 24);
+  std::vector<std::string> in_class;
+  for (const auto& row : matrix) {
+    bool all = true;
+    for (const auto& res : row.results) {
+      if (res.verdict != MetaVerdict::kSupported) all = false;
+    }
+    if (all) in_class.push_back(row.property);
+  }
+  EXPECT_EQ(in_class,
+            (std::vector<std::string>{"Total Order", "Integrity", "Confidentiality"}));
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,97 @@
+// Self-tests of the meta-property checker: determinism, witness
+// soundness, vacuity handling, and behaviour on degenerate corpora.
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/meta.hpp"
+
+namespace msw {
+namespace {
+
+TEST(MetaRobustness, MatrixIsDeterministicForASeed) {
+  const auto run = [] {
+    Rng rng(123);
+    const auto corpus = standard_corpus(rng, 4, 4);
+    const auto props = standard_properties(4);
+    std::string fingerprint;
+    for (const auto& row : compute_meta_matrix(props, corpus, rng, 16)) {
+      fingerprint += row.property;
+      for (const auto& res : row.results) fingerprint += verdict_mark(res.verdict);
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MetaRobustness, EveryRefutationIsSound) {
+  Rng rng(2024);
+  const auto corpus = standard_corpus(rng, 6, 4);
+  const auto props = standard_properties(4);
+  for (const auto& row : compute_meta_matrix(props, corpus, rng, 16)) {
+    const Property* prop = nullptr;
+    for (const auto& p : props) {
+      if (p->name() == row.property) prop = p.get();
+    }
+    ASSERT_NE(prop, nullptr);
+    for (const auto& res : row.results) {
+      if (res.verdict != MetaVerdict::kRefuted) continue;
+      ASSERT_TRUE(res.below && res.above);
+      EXPECT_TRUE(prop->holds(*res.below)) << row.property << ": below must satisfy";
+      EXPECT_FALSE(prop->holds(*res.above)) << row.property << ": above must violate";
+      EXPECT_TRUE(well_formed(*res.above)) << row.property << ": relations keep traces legal";
+    }
+  }
+}
+
+TEST(MetaRobustness, EmptyCorpusIsVacuousEverywhere) {
+  Rng rng(1);
+  const std::vector<Trace> empty;
+  for (const auto& rel : standard_relations()) {
+    const auto res = check_preservation(TotalOrderProperty(), *rel, empty, rng);
+    EXPECT_EQ(res.verdict, MetaVerdict::kVacuous);
+    EXPECT_EQ(res.pairs_checked, 0u);
+  }
+  EXPECT_EQ(check_composable(TotalOrderProperty(), empty, rng).verdict,
+            MetaVerdict::kVacuous);
+}
+
+TEST(MetaRobustness, EmptyTraceInCorpusIsHarmless) {
+  Rng rng(1);
+  const std::vector<Trace> corpus = {Trace{}, {send_ev(0, 0), deliver_ev(0, 0, 0)}};
+  for (const auto& rel : standard_relations()) {
+    const auto res = check_preservation(IntegrityProperty({0}), *rel, corpus, rng);
+    EXPECT_NE(res.verdict, MetaVerdict::kRefuted) << rel->name();
+  }
+}
+
+TEST(MetaRobustness, SingleEventTraces) {
+  Rng rng(1);
+  const std::vector<Trace> corpus = {{send_ev(0, 0)}, {deliver_ev(1, 0, 7)}};
+  // Nothing here can refute Total Order.
+  for (const auto& rel : standard_relations()) {
+    const auto res = check_preservation(TotalOrderProperty(), *rel, corpus, rng);
+    EXPECT_NE(res.verdict, MetaVerdict::kRefuted);
+  }
+}
+
+TEST(MetaRobustness, VariantBudgetIsRespected) {
+  Rng rng(5);
+  GenOptions opts;
+  opts.n_msgs = 10;
+  const Trace big = gen_total_order_trace(rng, opts);
+  for (const auto& rel : standard_relations()) {
+    EXPECT_LE(rel->relate(big, rng, 5).size(), 5u) << rel->name();
+  }
+}
+
+TEST(MetaRobustness, MatrixColumnsMatchRelationOrder) {
+  const auto cols = meta_matrix_columns();
+  const auto rels = standard_relations();
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    EXPECT_EQ(cols[i], rels[i]->name());
+  }
+  EXPECT_EQ(cols[5], "Composable");
+}
+
+}  // namespace
+}  // namespace msw

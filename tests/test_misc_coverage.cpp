@@ -1,0 +1,152 @@
+// Cross-cutting edges: the CPU-consumption model, point-to-point
+// pass-through across the switching protocol's nested chains, logging,
+// and small rendering utilities.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "switch/hybrid.hpp"
+#include "util/log.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+TEST(ConsumeCpu, DelaysSubsequentWork) {
+  Simulation sim(1);
+  Network net(sim.scheduler(), sim.fork_rng(), testing::ideal_net());
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  Time arrival = -1;
+  net.set_handler(b, [&](Packet) { arrival = sim.now(); });
+  net.consume_cpu(a, 5 * kMillisecond);  // a is busy for 5 ms
+  net.send(a, b, to_bytes("x"));
+  sim.run();
+  EXPECT_EQ(arrival, 5 * kMillisecond + 1 * kMillisecond);
+}
+
+TEST(ConsumeCpu, ZeroAndNegativeAreNoops) {
+  Simulation sim(1);
+  Network net(sim.scheduler(), sim.fork_rng(), testing::ideal_net());
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  Time arrival = -1;
+  net.set_handler(b, [&](Packet) { arrival = sim.now(); });
+  net.consume_cpu(a, 0);
+  net.consume_cpu(a, -5);
+  net.send(a, b, to_bytes("x"));
+  sim.run();
+  EXPECT_EQ(arrival, 1 * kMillisecond);
+}
+
+/// A layer above SP that exchanges point-to-point pings: exercises the
+/// kPass path through the switch layer and both nested protocol chains.
+class PingLayer : public Layer {
+ public:
+  std::string_view name() const override { return "ping"; }
+  void up(Message m) override {
+    std::uint8_t tag = 0;
+    m.pop_header([&](Reader& r) { tag = r.u8(); });
+    if (tag == 1) {
+      ++pings_received;
+      // Reply.
+      Message reply = Message::p2p(m.wire_src, {});
+      reply.push_header([](Writer& w) { w.u8(2); });
+      ctx().send_down(std::move(reply));
+    } else if (tag == 2) {
+      ++pongs_received;
+    }
+  }
+  void ping(NodeId to) {
+    Message m = Message::p2p(to, {});
+    m.push_header([](Writer& w) { w.u8(1); });
+    ctx().send_down(std::move(m));
+  }
+  int pings_received = 0;
+  int pongs_received = 0;
+};
+
+TEST(SwitchPassThrough, P2pControlOfUpperLayersCrossesSp) {
+  std::vector<PingLayer*> pings;
+  GroupHarness h(3, [&](NodeId self, const std::vector<NodeId>& members) {
+    auto ping = std::make_unique<PingLayer>();
+    pings.push_back(ping.get());
+    HybridConfig cfg;
+    auto inner = make_hybrid_total_order_factory(cfg)(self, members);
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::move(ping));
+    for (auto& l : inner) layers.push_back(std::move(l));
+    return layers;
+  });
+  pings[0]->ping(h.group.node(2));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(pings[2]->pings_received, 1);
+  EXPECT_EQ(pings[0]->pongs_received, 1);
+
+  // Still works after a switch (the pass-through rides whichever protocol
+  // is active). The switch layer sits below the ping layer here.
+  static_cast<SwitchLayer&>(h.group.stack(0).chain().layer(1)).request_switch();
+  h.sim.run_for(2 * kSecond);
+  pings[1]->ping(h.group.node(0));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(pings[0]->pings_received, 1);
+  EXPECT_EQ(pings[1]->pongs_received, 1);
+}
+
+TEST(Logging, LevelGatesOutput) {
+  const LogLevel before = Log::level();
+  Log::set_level(LogLevel::kOff);
+  MSW_LOG(kWarn, "test", 1000) << "suppressed";
+  Log::set_level(LogLevel::kTrace);
+  MSW_LOG(kTrace, "test", -1) << "emitted without a clock";
+  Log::set_level(before);
+  SUCCEED();
+}
+
+TEST(Rendering, IdsAndStats) {
+  EXPECT_EQ(to_string(NodeId{7}), "n7");
+  EXPECT_EQ(to_string(MsgId{3, 9, MsgId::Kind::kData}), "m(3,9)");
+  EXPECT_EQ(to_string(MsgId{0, 2, MsgId::Kind::kView}), "view(0,2)");
+  NetStats stats;
+  stats.unicasts_sent = 5;
+  EXPECT_NE(stats.summary().find("unicasts=5"), std::string::npos);
+}
+
+TEST(SchedulerEdge, CancelFromWithinAnotherHandler) {
+  Scheduler s;
+  bool second_ran = false;
+  EventId second{};
+  s.at(10, [&] { s.cancel(second); });
+  second = s.at(20, [&] { second_ran = true; });
+  s.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SchedulerEdge, SameTimeSchedulingFromHandlerRunsAfter) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(10, [&] {
+    order.push_back(1);
+    s.at(10, [&] { order.push_back(3); });
+  });
+  s.at(10, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(HybridFacade, SwitchLayerOfReturnsTopLayer) {
+  GroupHarness h(2, make_hybrid_total_order_factory());
+  SwitchLayer& sp = switch_layer_of(h.group.stack(0));
+  EXPECT_EQ(sp.name(), "switch");
+  EXPECT_EQ(sp.epoch(), 0u);
+}
+
+TEST(HybridFacade, SubLayerAccess) {
+  GroupHarness h(2, make_hybrid_total_order_factory());
+  SwitchLayer& sp = switch_layer_of(h.group.stack(0));
+  EXPECT_EQ(sp.sub_layer(0, 0).name(), "sequencer");
+  EXPECT_EQ(sp.sub_layer(1, 0).name(), "token");
+}
+
+}  // namespace
+}  // namespace msw

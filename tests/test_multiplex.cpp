@@ -1,0 +1,102 @@
+// Mux tagging and the standalone MultiplexLayer's channel routing.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "switch/multiplex_layer.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+TEST(Mux, TagRoundTrip) {
+  Message m = Message::group(to_bytes("x"));
+  Mux::push(m, 7);
+  EXPECT_EQ(Mux::pop(m), 7u);
+  EXPECT_EQ(m.data, to_bytes("x"));
+}
+
+TEST(Mux, NestedTags) {
+  Message m = Message::group({});
+  Mux::push(m, 1);
+  Mux::push(m, 2);
+  EXPECT_EQ(Mux::pop(m), 2u);
+  EXPECT_EQ(Mux::pop(m), 1u);
+}
+
+TEST(Mux, PopOnGarbageThrows) {
+  Message m = Message::group(to_bytes("a"));
+  EXPECT_THROW(Mux::pop(m), DecodeError);
+}
+
+std::vector<MultiplexLayer*> g_mux;
+
+LayerFactory mux_stack() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    auto l = std::make_unique<MultiplexLayer>();
+    g_mux.push_back(l.get());
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::move(l));
+    return layers;
+  };
+}
+
+class MultiplexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_mux.clear(); }
+};
+
+TEST_F(MultiplexTest, DefaultChannelIsTransparent) {
+  GroupHarness h(2, mux_stack());
+  h.group.send(0, to_bytes("normal"));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(h.delivered_data(1).size(), 1u);
+}
+
+TEST_F(MultiplexTest, SideChannelRoutesToHandler) {
+  GroupHarness h(2, mux_stack());
+  Bytes got;
+  g_mux[1]->set_channel_handler(5, [&](Message m) { got = m.data; });
+  Message side = Message::group(to_bytes("side-data"));
+  g_mux[0]->send_on(5, std::move(side));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(got, to_bytes("side-data"));
+  // Side-channel traffic must NOT surface at the app.
+  EXPECT_TRUE(h.delivered_data(1).empty());
+}
+
+TEST_F(MultiplexTest, UnroutableChannelDroppedAndCounted) {
+  GroupHarness h(2, mux_stack());
+  Message side = Message::group(to_bytes("lost"));
+  g_mux[0]->send_on(9, std::move(side));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(g_mux[1]->dropped_unroutable(), 1u);
+}
+
+TEST_F(MultiplexTest, ChannelsAreIndependent) {
+  GroupHarness h(2, mux_stack());
+  std::vector<int> got_on(3, 0);
+  g_mux[1]->set_channel_handler(1, [&](Message) { ++got_on[1]; });
+  g_mux[1]->set_channel_handler(2, [&](Message) { ++got_on[2]; });
+  g_mux[0]->send_on(1, Message::group(to_bytes("a")));
+  g_mux[0]->send_on(2, Message::group(to_bytes("b")));
+  g_mux[0]->send_on(1, Message::group(to_bytes("c")));
+  h.group.send(0, to_bytes("app"));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(got_on[1], 2);
+  EXPECT_EQ(got_on[2], 1);
+  EXPECT_EQ(h.delivered_data(1).size(), 1u);
+}
+
+TEST_F(MultiplexTest, P2pSideChannel) {
+  GroupHarness h(3, mux_stack());
+  int got = 0;
+  g_mux[2]->set_channel_handler(4, [&](Message) { ++got; });
+  g_mux[1]->set_channel_handler(4, [&](Message) { ADD_FAILURE() << "wrong destination"; });
+  g_mux[0]->send_on(4, Message::p2p(h.group.node(2), to_bytes("direct")));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,87 @@
+// Oracle implementations: threshold behaviour, hysteresis dead band, and
+// dwell-time suppression.
+#include <gtest/gtest.h>
+
+#include "switch/oracle.hpp"
+
+namespace msw {
+namespace {
+
+OracleView view(int active, std::size_t senders, Time since_switch = kSecond) {
+  OracleView v;
+  v.self = NodeId{0};
+  v.active_protocol = active;
+  v.now = 10 * kSecond;
+  v.active_senders = senders;
+  v.since_last_switch = since_switch;
+  return v;
+}
+
+TEST(ManualOracle, NeverSwitches) {
+  ManualOracle o;
+  EXPECT_FALSE(o.should_switch(view(0, 100)));
+  EXPECT_FALSE(o.should_switch(view(1, 0)));
+}
+
+TEST(ThresholdOracle, SwitchesUpAtThreshold) {
+  ThresholdOracle o(5);
+  EXPECT_FALSE(o.should_switch(view(0, 4)));
+  EXPECT_TRUE(o.should_switch(view(0, 5)));
+  EXPECT_TRUE(o.should_switch(view(0, 9)));
+}
+
+TEST(ThresholdOracle, SwitchesDownBelowThreshold) {
+  ThresholdOracle o(5);
+  EXPECT_TRUE(o.should_switch(view(1, 4)));
+  EXPECT_FALSE(o.should_switch(view(1, 5)));
+}
+
+TEST(ThresholdOracle, OscillatesAtBoundary) {
+  // The failure mode of section 7: load hovering at the threshold flips
+  // the oracle every time it is asked.
+  ThresholdOracle o(5);
+  int flips = 0;
+  int active = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t load = (i % 2 == 0) ? 5 : 4;  // jitters around 5
+    if (o.should_switch(view(active, load))) {
+      active = 1 - active;
+      ++flips;
+    }
+  }
+  EXPECT_GE(flips, 8);
+}
+
+TEST(HysteresisOracle, DeadBandHoldsProtocol) {
+  HysteresisOracle o(3, 6, 0);
+  // Between low and high, neither direction switches.
+  for (std::size_t load = 4; load <= 5; ++load) {
+    EXPECT_FALSE(o.should_switch(view(0, load)));
+    EXPECT_FALSE(o.should_switch(view(1, load)));
+  }
+  EXPECT_TRUE(o.should_switch(view(0, 6)));
+  EXPECT_TRUE(o.should_switch(view(1, 3)));
+}
+
+TEST(HysteresisOracle, JitterInsideBandDoesNotOscillate) {
+  HysteresisOracle o(3, 6, 0);
+  int active = 0;
+  int flips = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t load = (i % 2 == 0) ? 5 : 4;
+    if (o.should_switch(view(active, load))) {
+      active = 1 - active;
+      ++flips;
+    }
+  }
+  EXPECT_EQ(flips, 0);
+}
+
+TEST(HysteresisOracle, DwellTimeSuppressesEarlySwitch) {
+  HysteresisOracle o(3, 6, kSecond);
+  EXPECT_FALSE(o.should_switch(view(0, 9, 500 * kMillisecond)));
+  EXPECT_TRUE(o.should_switch(view(0, 9, 2 * kSecond)));
+}
+
+}  // namespace
+}  // namespace msw

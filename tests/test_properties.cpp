@@ -1,0 +1,244 @@
+// The Table 1 property predicates on hand-built witness traces: one
+// satisfying and at least one violating trace per property, plus edge
+// cases of each formalization.
+#include <gtest/gtest.h>
+
+#include "trace/properties.hpp"
+
+namespace msw {
+namespace {
+
+// ---------------------------------------------------------------- Reliability
+
+TEST(Reliability, HoldsWhenAllDeliver) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(ReliabilityProperty({0, 1}).holds(tr));
+}
+
+TEST(Reliability, FailsOnMissingReceiver) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0)};
+  EXPECT_FALSE(ReliabilityProperty({0, 1}).holds(tr));
+}
+
+TEST(Reliability, EmptyTraceHolds) {
+  EXPECT_TRUE(ReliabilityProperty({0, 1, 2}).holds({}));
+}
+
+TEST(Reliability, DeliverBeforeSendStillCounts) {
+  // The predicate is existential over the whole trace, not temporal.
+  const Trace tr = {deliver_ev(1, 0, 0), send_ev(0, 0), deliver_ev(0, 0, 0)};
+  EXPECT_TRUE(ReliabilityProperty({0, 1}).holds(tr));
+}
+
+TEST(Reliability, UnsentDeliveriesIrrelevant) {
+  const Trace tr = {deliver_ev(0, 9, 7)};  // no Send in trace: vacuous
+  EXPECT_TRUE(ReliabilityProperty({0, 1}).holds(tr));
+}
+
+// ---------------------------------------------------------------- Total Order
+
+TEST(TotalOrder, AgreedOrderHolds) {
+  const Trace tr = {send_ev(0, 0), send_ev(1, 0),     deliver_ev(0, 0, 0),
+                    deliver_ev(0, 1, 0), deliver_ev(1, 0, 0), deliver_ev(1, 1, 0)};
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+TEST(TotalOrder, DisagreementFails) {
+  const Trace tr = {send_ev(0, 0), send_ev(1, 0),     deliver_ev(0, 0, 0),
+                    deliver_ev(0, 1, 0), deliver_ev(1, 1, 0), deliver_ev(1, 0, 0)};
+  EXPECT_FALSE(TotalOrderProperty().holds(tr));
+}
+
+TEST(TotalOrder, DisjointDeliverySetsHold) {
+  // p delivers only m0, q only m1: no common pair, vacuously ordered.
+  const Trace tr = {send_ev(0, 0), send_ev(1, 0), deliver_ev(0, 0, 0), deliver_ev(1, 1, 0)};
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+TEST(TotalOrder, ThreeProcessCycleFails) {
+  // Pairwise orders are cyclic: p: a<b, q: b<c, r: c<a — the pair (a,b) at
+  // p and r disagrees only through c; the property is pairwise, so build a
+  // direct disagreement on one pair.
+  const Trace tr = {send_ev(0, 0), send_ev(0, 1), send_ev(0, 2),
+                    // p: a, b   q: b, a
+                    deliver_ev(1, 0, 0), deliver_ev(1, 0, 1),
+                    deliver_ev(2, 0, 1), deliver_ev(2, 0, 0)};
+  EXPECT_FALSE(TotalOrderProperty().holds(tr));
+}
+
+TEST(TotalOrder, SingleProcessAlwaysHolds) {
+  const Trace tr = {send_ev(0, 0), send_ev(0, 1), deliver_ev(0, 0, 1), deliver_ev(0, 0, 0)};
+  EXPECT_TRUE(TotalOrderProperty().holds(tr));
+}
+
+// ------------------------------------------------------------------ Integrity
+
+TEST(Integrity, TrustedSendersOnly) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(IntegrityProperty({0, 1}).holds(tr));
+}
+
+TEST(Integrity, UntrustedSenderFails) {
+  const Trace tr = {deliver_ev(1, 9, 0)};  // 9 is not trusted
+  EXPECT_FALSE(IntegrityProperty({0, 1}).holds(tr));
+}
+
+TEST(Integrity, SendsByUntrustedAreNotViolations) {
+  // Only deliveries matter: an untrusted Send that no one delivers is fine.
+  const Trace tr = {send_ev(9, 0)};
+  EXPECT_TRUE(IntegrityProperty({0, 1}).holds(tr));
+}
+
+// ------------------------------------------------------------- Confidentiality
+
+TEST(Confidentiality, TrustedToTrustedOk) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(ConfidentialityProperty({0, 1}).holds(tr));
+}
+
+TEST(Confidentiality, TrustedToUntrustedFails) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(9, 0, 0)};
+  EXPECT_FALSE(ConfidentialityProperty({0}).holds(tr));
+}
+
+TEST(Confidentiality, UntrustedTrafficUnconstrained) {
+  const Trace tr = {send_ev(9, 0), deliver_ev(8, 9, 0)};
+  EXPECT_TRUE(ConfidentialityProperty({0, 1}).holds(tr));
+}
+
+// ------------------------------------------------------------------ No Replay
+
+TEST(NoReplay, DistinctBodiesOk) {
+  const Trace tr = {deliver_ev(0, 1, 0, to_bytes("a")), deliver_ev(0, 1, 1, to_bytes("b"))};
+  EXPECT_TRUE(NoReplayProperty().holds(tr));
+}
+
+TEST(NoReplay, SameBodyTwiceAtOneProcessFails) {
+  const Trace tr = {deliver_ev(0, 1, 0, to_bytes("x")), deliver_ev(0, 2, 5, to_bytes("x"))};
+  EXPECT_FALSE(NoReplayProperty().holds(tr));
+}
+
+TEST(NoReplay, SameBodyAtDifferentProcessesOk) {
+  const Trace tr = {deliver_ev(0, 1, 0, to_bytes("x")), deliver_ev(1, 1, 0, to_bytes("x"))};
+  EXPECT_TRUE(NoReplayProperty().holds(tr));
+}
+
+TEST(NoReplay, EmptyBodiesKeyedByMsgId) {
+  const Trace dup = {deliver_ev(0, 1, 0), deliver_ev(0, 1, 0)};
+  EXPECT_FALSE(NoReplayProperty().holds(dup));
+  const Trace ok = {deliver_ev(0, 1, 0), deliver_ev(0, 1, 1)};
+  EXPECT_TRUE(NoReplayProperty().holds(ok));
+}
+
+// -------------------------------------------------------- Prioritized Delivery
+
+TEST(Prioritized, MasterFirstHolds) {
+  const Trace tr = {send_ev(1, 0), deliver_ev(0, 1, 0), deliver_ev(2, 1, 0)};
+  EXPECT_TRUE(PrioritizedDeliveryProperty(0).holds(tr));
+}
+
+TEST(Prioritized, NonMasterFirstFails) {
+  const Trace tr = {send_ev(1, 0), deliver_ev(2, 1, 0), deliver_ev(0, 1, 0)};
+  EXPECT_FALSE(PrioritizedDeliveryProperty(0).holds(tr));
+}
+
+TEST(Prioritized, MasterNeverDeliversFails) {
+  const Trace tr = {send_ev(1, 0), deliver_ev(2, 1, 0)};
+  EXPECT_FALSE(PrioritizedDeliveryProperty(0).holds(tr));
+}
+
+TEST(Prioritized, MasterOnlyTraceHolds) {
+  const Trace tr = {send_ev(1, 0), deliver_ev(0, 1, 0)};
+  EXPECT_TRUE(PrioritizedDeliveryProperty(0).holds(tr));
+}
+
+// --------------------------------------------------------------------- Amoeba
+
+TEST(Amoeba, GatedSendsHold) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), send_ev(0, 1), deliver_ev(0, 0, 1)};
+  EXPECT_TRUE(AmoebaProperty().holds(tr));
+}
+
+TEST(Amoeba, BackToBackSendsFail) {
+  const Trace tr = {send_ev(0, 0), send_ev(0, 1)};
+  EXPECT_FALSE(AmoebaProperty().holds(tr));
+}
+
+TEST(Amoeba, OtherDeliveriesDoNotUnblock) {
+  // Delivery of someone ELSE's message does not release the sender.
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 1, 7), send_ev(0, 1)};
+  EXPECT_FALSE(AmoebaProperty().holds(tr));
+}
+
+TEST(Amoeba, IndependentProcessesInterleave) {
+  const Trace tr = {send_ev(0, 0), send_ev(1, 0), deliver_ev(0, 0, 0), deliver_ev(1, 1, 0),
+                    send_ev(0, 1)};
+  EXPECT_TRUE(AmoebaProperty().holds(tr));
+}
+
+TEST(Amoeba, TrailingUnackedSendHolds) {
+  const Trace tr = {send_ev(0, 0)};  // in flight at trace end: fine
+  EXPECT_TRUE(AmoebaProperty().holds(tr));
+}
+
+// ---------------------------------------------------------- Virtual Synchrony
+
+TEST(VirtualSynchrony, EqualEpochSetsHold) {
+  const Trace tr = {
+      view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+      send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0),
+      view_deliver_ev(0, 0, 2), view_deliver_ev(1, 0, 2),
+  };
+  EXPECT_TRUE(VirtualSynchronyProperty().holds(tr));
+}
+
+TEST(VirtualSynchrony, UnequalEpochSetsFail) {
+  const Trace tr = {
+      view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+      send_ev(0, 0), deliver_ev(0, 0, 0),  // only process 0 delivers m
+      view_deliver_ev(0, 0, 2), view_deliver_ev(1, 0, 2),
+  };
+  EXPECT_FALSE(VirtualSynchronyProperty().holds(tr));
+}
+
+TEST(VirtualSynchrony, NonCommonViewPairsUnconstrained) {
+  // p passes through views 1,2,3; q skips view 2 entirely: their epochs
+  // are not comparable, so differing contents are fine.
+  const Trace tr = {
+      view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+      send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0),
+      view_deliver_ev(0, 0, 2),
+      send_ev(0, 1), deliver_ev(0, 0, 1),  // only p delivers, inside view 2
+      view_deliver_ev(0, 0, 3), view_deliver_ev(1, 0, 3),
+  };
+  EXPECT_TRUE(VirtualSynchronyProperty().holds(tr));
+}
+
+TEST(VirtualSynchrony, DeliveriesBeforeFirstViewUnconstrained) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), view_deliver_ev(0, 0, 1),
+                    view_deliver_ev(1, 0, 1)};
+  EXPECT_TRUE(VirtualSynchronyProperty().holds(tr));
+}
+
+TEST(VirtualSynchrony, NoViewsVacuouslyHolds) {
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(VirtualSynchronyProperty().holds(tr));
+}
+
+// ------------------------------------------------------------------- Catalogue
+
+TEST(Catalogue, StandardPropertiesMatchTable2RowOrder) {
+  const auto props = standard_properties(4);
+  ASSERT_EQ(props.size(), 8u);
+  EXPECT_EQ(props[0]->name(), "Total Order");
+  EXPECT_EQ(props[1]->name(), "Integrity");
+  EXPECT_EQ(props[2]->name(), "Confidentiality");
+  EXPECT_EQ(props[3]->name(), "Reliability");
+  EXPECT_EQ(props[4]->name(), "Prioritized Delivery");
+  EXPECT_EQ(props[5]->name(), "Amoeba");
+  EXPECT_EQ(props[6]->name(), "Virtual Synchrony");
+  EXPECT_EQ(props[7]->name(), "No Replay");
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,178 @@
+// The trace relations of sections 5-6: each relation generates only traces
+// genuinely related to the input, and the helper predicates behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/relations.hpp"
+
+namespace msw {
+namespace {
+
+Trace sample_trace() {
+  return {send_ev(0, 0, to_bytes("a")), deliver_ev(0, 0, 0, to_bytes("a")),
+          deliver_ev(1, 0, 0, to_bytes("a")), send_ev(1, 0, to_bytes("b")),
+          deliver_ev(0, 1, 0, to_bytes("b")), deliver_ev(1, 1, 0, to_bytes("b"))};
+}
+
+bool is_prefix(const Trace& pre, const Trace& full) {
+  if (pre.size() > full.size()) return false;
+  return std::equal(pre.begin(), pre.end(), full.begin());
+}
+
+TEST(PrefixRelation, GeneratesOnlyPrefixes) {
+  Rng rng(1);
+  const Trace tr = sample_trace();
+  for (const Trace& above : PrefixRelation().relate(tr, rng, 16)) {
+    EXPECT_TRUE(is_prefix(above, tr));
+    EXPECT_LT(above.size(), tr.size());  // proper prefixes
+  }
+}
+
+TEST(PrefixRelation, EnumeratesAllWhenSmall) {
+  Rng rng(1);
+  const Trace tr = sample_trace();
+  const auto all = PrefixRelation().relate(tr, rng, 100);
+  EXPECT_EQ(all.size(), tr.size());  // lengths 0..n-1
+}
+
+TEST(AsyncSwapRelation, SwapsOnlyDifferentProcesses) {
+  Rng rng(2);
+  const Trace tr = sample_trace();
+  for (const Trace& above : AsyncSwapRelation().relate(tr, rng, 32)) {
+    ASSERT_EQ(above.size(), tr.size());
+    // Per-process subsequences must be untouched.
+    for (std::uint32_t p : processes_of(tr)) {
+      std::vector<TraceEvent> before, after;
+      for (const auto& e : tr) {
+        if (e.process == p) before.push_back(e);
+      }
+      for (const auto& e : above) {
+        if (e.process == p) after.push_back(e);
+      }
+      EXPECT_EQ(before, after) << "process " << p << " subsequence changed";
+    }
+  }
+}
+
+TEST(AsyncSwapRelation, ProducesAtLeastOneVariant) {
+  Rng rng(3);
+  EXPECT_FALSE(AsyncSwapRelation().relate(sample_trace(), rng, 8).empty());
+}
+
+TEST(AsyncSwapRelation, SingleProcessTraceHasNoVariants) {
+  Rng rng(3);
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), send_ev(0, 1)};
+  EXPECT_TRUE(AsyncSwapRelation().relate(tr, rng, 8).empty());
+}
+
+TEST(AppendSendsRelation, AppendsOnlySends) {
+  Rng rng(4);
+  const Trace tr = sample_trace();
+  for (const Trace& above : AppendSendsRelation().relate(tr, rng, 8)) {
+    ASSERT_GT(above.size(), tr.size());
+    EXPECT_TRUE(is_prefix(tr, above));
+    for (std::size_t i = tr.size(); i < above.size(); ++i) {
+      EXPECT_TRUE(above[i].is_send());
+    }
+    EXPECT_TRUE(well_formed(above)) << "appended sends must use fresh ids";
+  }
+}
+
+TEST(DelaySwapRelation, SwapsOnlySameProcessSendDeliverPairs) {
+  Rng rng(5);
+  const Trace tr = sample_trace();
+  for (const Trace& above : DelaySwapRelation().relate(tr, rng, 32)) {
+    ASSERT_EQ(above.size(), tr.size());
+    // Multiset of events unchanged.
+    auto a = tr;
+    auto b = above;
+    auto cmp = [](const TraceEvent& x, const TraceEvent& y) {
+      return std::tie(x.kind, x.process, x.msg) < std::tie(y.kind, y.process, y.msg);
+    };
+    std::sort(a.begin(), a.end(), cmp);
+    std::sort(b.begin(), b.end(), cmp);
+    EXPECT_EQ(a, b);
+    // Deliver/Deliver order at each process unchanged (only Send<->Deliver
+    // pairs may swap).
+    for (std::uint32_t p : processes_of(tr)) {
+      std::vector<MsgId> before, after;
+      for (const auto& e : tr) {
+        if (e.process == p && e.is_deliver()) before.push_back(e.msg);
+      }
+      for (const auto& e : above) {
+        if (e.process == p && e.is_deliver()) after.push_back(e.msg);
+      }
+      EXPECT_EQ(before, after);
+    }
+  }
+}
+
+TEST(DelaySwapRelation, FindsAdjacentPair) {
+  Rng rng(6);
+  // Deliver(0,own) immediately followed by Send(0,...): swappable.
+  const Trace tr = {send_ev(0, 0), deliver_ev(0, 0, 0), send_ev(0, 1)};
+  const auto variants = DelaySwapRelation().relate(tr, rng, 8);
+  EXPECT_FALSE(variants.empty());
+}
+
+TEST(RemoveMessagesRelation, RemovesAllEventsOfVictims) {
+  Rng rng(7);
+  const Trace tr = sample_trace();
+  const auto variants = RemoveMessagesRelation().relate(tr, rng, 32);
+  EXPECT_FALSE(variants.empty());
+  for (const Trace& above : variants) {
+    // Surviving messages keep all their events, in order.
+    const auto kept = messages_of(above);
+    for (const MsgId& m : kept) {
+      std::vector<TraceEvent> before, after;
+      for (const auto& e : tr) {
+        if (e.msg == m) before.push_back(e);
+      }
+      for (const auto& e : above) {
+        if (e.msg == m) after.push_back(e);
+      }
+      EXPECT_EQ(before, after);
+    }
+    EXPECT_LT(above.size(), tr.size() + 1);
+  }
+}
+
+TEST(RemoveMessagesRelation, SingleRemovalsComeFirst) {
+  Rng rng(8);
+  const Trace tr = sample_trace();  // 2 messages
+  const auto variants = RemoveMessagesRelation().relate(tr, rng, 2);
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(messages_of(variants[0]).size(), 1u);
+  EXPECT_EQ(messages_of(variants[1]).size(), 1u);
+}
+
+TEST(Concatenate, PreservesOrder) {
+  const Trace a = {send_ev(0, 0)};
+  const Trace b = {send_ev(1, 0)};
+  const Trace c = concatenate(a, b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].msg.sender, 0u);
+  EXPECT_EQ(c[1].msg.sender, 1u);
+}
+
+TEST(MessagesDisjoint, DetectsOverlap) {
+  const Trace a = {send_ev(0, 0)};
+  const Trace b = {deliver_ev(2, 0, 0)};
+  const Trace c = {send_ev(0, 1)};
+  EXPECT_FALSE(messages_disjoint(a, b));
+  EXPECT_TRUE(messages_disjoint(a, c));
+}
+
+TEST(StandardRelations, FiveInTableOrder) {
+  const auto rels = standard_relations();
+  ASSERT_EQ(rels.size(), 5u);
+  EXPECT_EQ(rels[0]->name(), "Safety");
+  EXPECT_EQ(rels[1]->name(), "Asynchronous");
+  EXPECT_EQ(rels[2]->name(), "Send Enabled");
+  EXPECT_EQ(rels[3]->name(), "Delayable");
+  EXPECT_EQ(rels[4]->name(), "Memoryless");
+}
+
+}  // namespace
+}  // namespace msw

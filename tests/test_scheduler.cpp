@@ -1,0 +1,139 @@
+// Discrete-event scheduler: ordering, determinism, cancellation, clocks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace msw {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(10, [&] { order.push_back(1); });
+  s.at(10, [&] { order.push_back(2); });
+  s.at(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  Time fired_at = -1;
+  s.at(100, [&] { s.after(50, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelUnknownIsNoop) {
+  Scheduler s;
+  s.cancel(EventId{12345});
+  s.cancel(EventId{});
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, DoubleCancelIsNoop) {
+  Scheduler s;
+  const EventId id = s.at(10, [] {});
+  s.cancel(id);
+  s.cancel(id);
+  s.run();
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  std::vector<Time> fired;
+  s.at(10, [&] { fired.push_back(10); });
+  s.at(20, [&] { fired.push_back(20); });
+  s.at(30, [&] { fired.push_back(30); });
+  s.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.after(1, recurse);
+  };
+  s.after(1, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 5);
+}
+
+TEST(Scheduler, RunBoundedLimitsExecution) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.at(i, [&] { ++count; });
+  EXPECT_EQ(s.run_bounded(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.pending(), 6u);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Simulation, ForkedRngsAreIndependent) {
+  Simulation sim(77);
+  Rng a = sim.fork_rng();
+  Rng b = sim.fork_rng();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Simulation, RunForAdvancesRelative) {
+  Simulation sim;
+  sim.run_for(100);
+  sim.run_for(50);
+  EXPECT_EQ(sim.now(), 150);
+}
+
+}  // namespace
+}  // namespace msw

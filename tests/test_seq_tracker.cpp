@@ -1,0 +1,74 @@
+// SeqTracker: contiguity, duplicates, gap reporting.
+#include <gtest/gtest.h>
+
+#include "util/seq_tracker.hpp"
+
+namespace msw {
+namespace {
+
+TEST(SeqTracker, InOrderAdvancesContiguous) {
+  SeqTracker t;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    EXPECT_TRUE(t.insert(s));
+    EXPECT_EQ(t.contiguous(), s + 1);
+  }
+  EXPECT_FALSE(t.has_gaps());
+}
+
+TEST(SeqTracker, DuplicateRejected) {
+  SeqTracker t;
+  EXPECT_TRUE(t.insert(0));
+  EXPECT_FALSE(t.insert(0));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+}
+
+TEST(SeqTracker, GapThenFill) {
+  SeqTracker t;
+  EXPECT_TRUE(t.insert(0));
+  EXPECT_TRUE(t.insert(2));
+  EXPECT_EQ(t.contiguous(), 1u);
+  EXPECT_TRUE(t.has_gaps());
+  EXPECT_TRUE(t.insert(1));
+  EXPECT_EQ(t.contiguous(), 3u);
+  EXPECT_FALSE(t.has_gaps());
+}
+
+TEST(SeqTracker, MissingBelow) {
+  SeqTracker t;
+  t.insert(0);
+  t.insert(3);
+  t.insert(5);
+  const auto missing = t.missing_below(6, 10);
+  EXPECT_EQ(missing, (std::vector<std::uint64_t>{1, 2, 4}));
+}
+
+TEST(SeqTracker, MissingBelowRespectsLimit) {
+  SeqTracker t;
+  t.insert(10);
+  const auto missing = t.missing_below(11, 3);
+  EXPECT_EQ(missing, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(SeqTracker, SeenQueries) {
+  SeqTracker t;
+  t.insert(0);
+  t.insert(2);
+  EXPECT_TRUE(t.seen(0));
+  EXPECT_FALSE(t.seen(1));
+  EXPECT_TRUE(t.seen(2));
+  EXPECT_FALSE(t.seen(3));
+}
+
+TEST(SeqTracker, LongOutOfOrderRun) {
+  SeqTracker t;
+  // Insert 0..99 in reverse; contiguity resolves only at the end.
+  for (std::uint64_t s = 100; s-- > 1;) EXPECT_TRUE(t.insert(s));
+  EXPECT_EQ(t.contiguous(), 0u);
+  EXPECT_TRUE(t.insert(0));
+  EXPECT_EQ(t.contiguous(), 100u);
+  EXPECT_EQ(t.sparse_count(), 0u);
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,128 @@
+// The section 6.3 theorem, as an executable check over the trace-level SP
+// model: properties satisfying all six meta-properties hold on every
+// SP-composable trace of two satisfying runs; properties outside the class
+// are violated by some composite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/generators.hpp"
+#include "trace/properties.hpp"
+#include "trace/sp_model.hpp"
+
+namespace msw {
+namespace {
+
+class SpModelSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpModelSeeds, IdentityCompositeIsConcatenation) {
+  Rng rng(GetParam());
+  GenOptions a_opts, b_opts;
+  a_opts.seq_base = 0;
+  b_opts.seq_base = 10'000;
+  const Trace a = gen_total_order_trace(rng, a_opts);
+  const Trace b = gen_total_order_trace(rng, b_opts);
+  const auto comps = sp_compositions(a, b, rng, 1);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].above.size(), a.size() + b.size());
+}
+
+TEST_P(SpModelSeeds, CompositesAreWellFormed) {
+  Rng rng(GetParam());
+  GenOptions a_opts, b_opts;
+  a_opts.seq_base = 0;
+  b_opts.seq_base = 10'000;
+  const Trace a = gen_total_order_trace(rng, a_opts);
+  const Trace b = gen_total_order_trace(rng, b_opts);
+  for (const auto& c : sp_compositions(a, b, rng, 32)) {
+    EXPECT_TRUE(well_formed(c.above)) << "steps: " << c.steps.size();
+  }
+}
+
+TEST_P(SpModelSeeds, SixMetaPropertyClassSurvivesEveryComposite) {
+  // The paper's theorem (proved in Nuprl, sampled here): Total Order,
+  // Integrity, Confidentiality — all six meta-properties — hold on every
+  // composite of satisfying runs.
+  Rng rng(GetParam());
+  GenOptions a_opts, b_opts;
+  a_opts.seq_base = 0;
+  b_opts.seq_base = 10'000;
+  const Trace a = gen_total_order_trace(rng, a_opts);
+  const Trace b = gen_total_order_trace(rng, b_opts);
+
+  TotalOrderProperty total_order;
+  IntegrityProperty integrity({0, 1, 2, 3});
+  ConfidentialityProperty confidentiality({0, 1, 2, 3});
+  ASSERT_TRUE(total_order.holds(a) && total_order.holds(b));
+
+  for (const auto& c : sp_compositions(a, b, rng, 64)) {
+    EXPECT_TRUE(total_order.holds(c.above)) << to_string(c.above);
+    EXPECT_TRUE(integrity.holds(c.above));
+    EXPECT_TRUE(confidentiality.holds(c.above));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpModelSeeds, ::testing::Values(1, 2, 3, 7, 11, 19, 31));
+
+TEST(SpModel, NoReplayViolatedBySomeComposite) {
+  // Two runs each No-Replay-clean, sharing a body under different ids: the
+  // glued trace can deliver the body twice (the not-Composable cell).
+  const Trace a = {send_ev(0, 1, to_bytes("x")), deliver_ev(1, 0, 1, to_bytes("x"))};
+  const Trace b = {send_ev(0, 2, to_bytes("x")), deliver_ev(1, 0, 2, to_bytes("x"))};
+  NoReplayProperty no_replay;
+  ASSERT_TRUE(no_replay.holds(a) && no_replay.holds(b));
+  Rng rng(5);
+  bool violated = false;
+  for (const auto& c : sp_compositions(a, b, rng, 16)) {
+    if (!no_replay.holds(c.above)) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(SpModel, VirtualSynchronyViolatedBySomeComposite) {
+  // A run ending with an open, asymmetric epoch glued to a run whose view
+  // marker closes it (the not-Composable cell of VS).
+  const Trace a = {view_deliver_ev(0, 0, 1), view_deliver_ev(1, 0, 1),
+                   send_ev(0, 100, to_bytes("m")), deliver_ev(0, 0, 100, to_bytes("m"))};
+  const Trace b = {view_deliver_ev(0, 0, 2), view_deliver_ev(1, 0, 2)};
+  VirtualSynchronyProperty vs;
+  ASSERT_TRUE(vs.holds(a) && vs.holds(b));
+  Rng rng(5);
+  bool violated = false;
+  for (const auto& c : sp_compositions(a, b, rng, 16)) {
+    if (!vs.holds(c.above)) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(SpModel, AmoebaViolatedBySomeComposite) {
+  const Trace a = {send_ev(0, 1)};  // in flight at the switch
+  const Trace b = {send_ev(0, 2), deliver_ev(0, 0, 2)};
+  AmoebaProperty amoeba;
+  ASSERT_TRUE(amoeba.holds(a) && amoeba.holds(b));
+  Rng rng(5);
+  bool violated = false;
+  for (const auto& c : sp_compositions(a, b, rng, 16)) {
+    if (!amoeba.holds(c.above)) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(SpModel, StepsAreRecorded) {
+  Rng rng(9);
+  GenOptions a_opts, b_opts;
+  a_opts.seq_base = 0;
+  b_opts.seq_base = 10'000;
+  const Trace a = gen_total_order_trace(rng, a_opts);
+  const Trace b = gen_total_order_trace(rng, b_opts);
+  bool saw_multi_step = false;
+  for (const auto& c : sp_compositions(a, b, rng, 32)) {
+    EXPECT_FALSE(c.steps.empty());
+    EXPECT_NE(std::find(c.steps.begin(), c.steps.end(), "Composable"), c.steps.end());
+    if (c.steps.size() >= 3) saw_multi_step = true;
+  }
+  EXPECT_TRUE(saw_multi_step);
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,137 @@
+// SP corner cases: switching with zero traffic, requests arriving
+// mid-switch, singleton groups, simultaneous oracle opinions, and the
+// stats surface.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+SwitchLayer& sl(GroupHarness& h, std::size_t i) { return switch_layer_of(h.group.stack(i)); }
+
+TEST(SwitchEdge, SwitchWithZeroTraffic) {
+  // No messages at all: every count is zero, the drain is trivially
+  // satisfied, and the switch still takes exactly three rotations.
+  GroupHarness h(4, make_hybrid_total_order_factory());
+  h.sim.run_for(100 * kMillisecond);
+  sl(h, 0).request_switch();
+  h.sim.run_for(2 * kSecond);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sl(h, i).epoch(), 1u);
+    EXPECT_EQ(sl(h, i).stats().max_buffered, 0u);
+  }
+  EXPECT_GT(sl(h, 0).stats().last_switch_duration, 0);
+}
+
+TEST(SwitchEdge, RequestDuringSwitchWaitsForNormalToken) {
+  GroupHarness h(3, make_hybrid_total_order_factory());
+  h.sim.run_for(100 * kMillisecond);
+  sl(h, 0).request_switch();
+  // Step until member 1 observes the switch in progress, then request from
+  // member 1: it must produce a SECOND switch after the first completes.
+  bool requested = false;
+  for (int i = 0; i < 2000 && !requested; ++i) {
+    h.sim.run_for(kMillisecond);
+    if (sl(h, 1).switching()) {
+      sl(h, 1).request_switch();
+      requested = true;
+    }
+  }
+  ASSERT_TRUE(requested);
+  h.sim.run_for(5 * kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sl(h, i).epoch(), 2u) << "member " << i;
+    EXPECT_EQ(sl(h, i).active_protocol(), 0);
+  }
+}
+
+TEST(SwitchEdge, SingletonGroupSwitches) {
+  GroupHarness h(1, make_hybrid_total_order_factory());
+  h.group.send(0, to_bytes("pre"));
+  h.sim.run_for(200 * kMillisecond);
+  sl(h, 0).request_switch();
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(sl(h, 0).epoch(), 1u);
+  h.group.send(0, to_bytes("post"));
+  h.sim.run_for(kSecond);
+  EXPECT_EQ(h.delivered_data(0).size(), 2u);
+}
+
+TEST(SwitchEdge, AllOraclesAgreeOnlyTokenHolderInitiates) {
+  // Every member's oracle says "switch" simultaneously; exactly one
+  // initiation happens per NORMAL token epoch — the others see the new
+  // protocol and (for a one-shot threshold oracle on protocol 1) go quiet.
+  HybridConfig cfg;
+  cfg.oracle = [](NodeId) { return std::make_unique<ThresholdOracle>(1); };
+  GroupHarness h(5, make_hybrid_total_order_factory(cfg), testing::era_net());
+  // Two steady senders keep active_senders >= 1 through the whole run, so
+  // protocol 0 wants out but protocol 1 (>= threshold) wants to stay. (If
+  // the traffic stopped, the oracle would legitimately switch back.)
+  for (int k = 0; k < 320; ++k) {
+    h.sim.scheduler().at(k * 10 * kMillisecond,
+                         [&, k] { h.group.send(k % 2, to_bytes("o" + std::to_string(k))); });
+  }
+  h.sim.run_for(3 * kSecond);
+  std::uint64_t initiated = 0;
+  for (std::size_t i = 0; i < 5; ++i) initiated += sl(h, i).stats().switches_initiated;
+  EXPECT_EQ(initiated, 1u) << "exactly one member may capture the NORMAL token";
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sl(h, i).epoch(), 1u);
+    EXPECT_EQ(sl(h, i).active_protocol(), 1);
+  }
+}
+
+TEST(SwitchEdge, StatsSurfaceIsCoherent) {
+  GroupHarness h(3, make_hybrid_total_order_factory());
+  for (int k = 0; k < 9; ++k) h.group.send(k % 3, to_bytes("s" + std::to_string(k)));
+  h.sim.run_for(300 * kMillisecond);
+  sl(h, 2).request_switch();
+  h.sim.run_for(3 * kSecond);
+  const auto& stats = sl(h, 2).stats();
+  EXPECT_EQ(stats.switches_initiated, 1u);
+  EXPECT_EQ(stats.switches_completed, 1u);
+  EXPECT_EQ(stats.switch_durations.count(), 1u);
+  EXPECT_NEAR(stats.switch_durations.mean(), to_ms(stats.last_switch_duration), 1e-9);
+  EXPECT_GE(stats.last_switch_duration, stats.last_local_switch_duration);
+  EXPECT_GT(stats.token_hops, 0u);
+  EXPECT_EQ(stats.stale_dropped, 0u);  // lossless run: no stale duplicates
+}
+
+TEST(SwitchEdge, EpochOfNextSendTracksPrepare) {
+  GroupHarness h(3, make_hybrid_total_order_factory());
+  h.sim.run_for(100 * kMillisecond);
+  EXPECT_EQ(sl(h, 0).epoch_of_next_send(), 0u);
+  sl(h, 0).request_switch();
+  bool observed = false;
+  for (int i = 0; i < 2000 && !observed; ++i) {
+    h.sim.run_for(kMillisecond);
+    if (sl(h, 0).switching()) {
+      EXPECT_EQ(sl(h, 0).epoch_of_next_send(), 1u);
+      observed = true;
+    }
+  }
+  EXPECT_TRUE(observed);
+  h.sim.run_for(3 * kSecond);
+  EXPECT_EQ(sl(h, 0).epoch_of_next_send(), 1u);
+}
+
+TEST(SwitchEdge, ActiveSendersWindowDecays) {
+  SwitchConfig cfg;
+  cfg.sender_window = 100 * kMillisecond;
+  HybridConfig hcfg;
+  hcfg.sp = cfg;
+  GroupHarness h(3, make_hybrid_total_order_factory(hcfg));
+  h.group.send(0, to_bytes("one"));
+  h.group.send(1, to_bytes("two"));
+  h.sim.run_for(50 * kMillisecond);
+  EXPECT_EQ(sl(h, 2).active_senders(), 2u);
+  h.sim.run_for(500 * kMillisecond);  // window expires
+  EXPECT_EQ(sl(h, 2).active_senders(), 0u);
+}
+
+}  // namespace
+}  // namespace msw

@@ -1,0 +1,81 @@
+// The trace model of section 3: event constructors, well-formedness, and
+// trace utilities.
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace msw {
+namespace {
+
+TEST(TraceModel, EventConstructors) {
+  const TraceEvent s = send_ev(1, 5, to_bytes("b"));
+  EXPECT_TRUE(s.is_send());
+  EXPECT_EQ(s.process, 1u);
+  EXPECT_EQ(s.msg.sender, 1u);
+  EXPECT_EQ(s.msg.seq, 5u);
+  EXPECT_FALSE(s.is_view_marker());
+
+  const TraceEvent d = deliver_ev(2, 1, 5, to_bytes("b"));
+  EXPECT_TRUE(d.is_deliver());
+  EXPECT_EQ(d.process, 2u);
+  EXPECT_EQ(d.msg, s.msg);
+}
+
+TEST(TraceModel, ViewMarkers) {
+  const TraceEvent v = view_deliver_ev(3, 0, 7);
+  EXPECT_TRUE(v.is_view_marker());
+  EXPECT_TRUE(v.is_deliver());
+  // A view marker and a data message with the same (sender, seq) differ.
+  EXPECT_NE(v.msg, deliver_ev(3, 0, 7).msg);
+}
+
+TEST(TraceModel, WellFormedRejectsDuplicateSends) {
+  Trace ok = {send_ev(0, 0), send_ev(0, 1), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(well_formed(ok));
+  Trace bad = {send_ev(0, 0), send_ev(0, 0)};
+  EXPECT_FALSE(well_formed(bad));
+}
+
+TEST(TraceModel, DuplicateDeliversAreWellFormed) {
+  // The model only forbids duplicate *sends*; duplicate deliveries are a
+  // property violation (No Replay), not ill-formedness.
+  Trace tr = {send_ev(0, 0), deliver_ev(1, 0, 0), deliver_ev(1, 0, 0)};
+  EXPECT_TRUE(well_formed(tr));
+}
+
+TEST(TraceModel, ProcessesOf) {
+  Trace tr = {send_ev(2, 0), deliver_ev(0, 2, 0), deliver_ev(5, 2, 0)};
+  EXPECT_EQ(processes_of(tr), (std::vector<std::uint32_t>{0, 2, 5}));
+}
+
+TEST(TraceModel, MessagesOfDeduplicates) {
+  Trace tr = {send_ev(0, 0), deliver_ev(1, 0, 0), deliver_ev(2, 0, 0), send_ev(0, 1)};
+  EXPECT_EQ(messages_of(tr).size(), 2u);
+}
+
+TEST(TraceModel, MsgIdOrdering) {
+  const MsgId a{0, 1, MsgId::Kind::kData};
+  const MsgId b{0, 2, MsgId::Kind::kData};
+  const MsgId c{1, 0, MsgId::Kind::kData};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(TraceModel, EventEqualityIgnoresTime) {
+  TraceEvent a = send_ev(0, 0);
+  TraceEvent b = send_ev(0, 0);
+  a.time = 100;
+  b.time = 200;
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceModel, RenderingIsReadable) {
+  Trace tr = {send_ev(0, 0, to_bytes("hi")), deliver_ev(1, 0, 0, to_bytes("hi"))};
+  const std::string s = to_string(tr);
+  EXPECT_NE(s.find("Send"), std::string::npos);
+  EXPECT_NE(s.find("Deliver"), std::string::npos);
+  EXPECT_NE(s.find("hi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msw

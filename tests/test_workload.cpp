@@ -1,0 +1,114 @@
+// Workload harness and the statistical Summary helper.
+#include <gtest/gtest.h>
+
+#include "harness/workload.hpp"
+#include "helpers.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw {
+namespace {
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, PercentileAfterIncrementalAdds) {
+  Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(20);
+  s.add(30);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+}
+
+TEST(TraceLatency, ComputesPerDeliveryLatency) {
+  Trace tr;
+  TraceEvent s = send_ev(0, 0);
+  s.time = 1000;
+  TraceEvent d1 = deliver_ev(0, 0, 0);
+  d1.time = 3000;
+  TraceEvent d2 = deliver_ev(1, 0, 0);
+  d2.time = 5000;
+  tr = {s, d1, d2};
+  const auto tl = trace_latency(tr, 0, 10'000, 2);
+  ASSERT_EQ(tl.latency_ms.count(), 2u);
+  EXPECT_DOUBLE_EQ(tl.latency_ms.min(), 2.0);
+  EXPECT_DOUBLE_EQ(tl.latency_ms.max(), 4.0);
+  EXPECT_EQ(tl.missing_deliveries, 0u);
+}
+
+TEST(TraceLatency, WindowExcludesEarlySends) {
+  Trace tr;
+  TraceEvent s = send_ev(0, 0);
+  s.time = 100;  // before the window
+  TraceEvent d = deliver_ev(1, 0, 0);
+  d.time = 200;
+  tr = {s, d};
+  const auto tl = trace_latency(tr, 1000, 10'000, 2);
+  EXPECT_EQ(tl.latency_ms.count(), 0u);
+}
+
+TEST(TraceLatency, CountsMissingDeliveries) {
+  Trace tr;
+  TraceEvent s = send_ev(0, 0);
+  s.time = 1000;
+  TraceEvent d = deliver_ev(0, 0, 0);
+  d.time = 2000;
+  tr = {s, d};
+  const auto tl = trace_latency(tr, 0, 10'000, 3);
+  EXPECT_EQ(tl.missing_deliveries, 2u);
+}
+
+TEST(Workload, DrivesConfiguredLoad) {
+  Simulation sim(5);
+  Network net(sim.scheduler(), sim.fork_rng(), testing::era_net());
+  Group group(sim, net, 6, make_sequencer_factory());
+  group.start();
+
+  WorkloadConfig cfg;
+  cfg.senders = 3;
+  cfg.rate_per_sender = 50;
+  cfg.duration = 2 * kSecond;
+  cfg.warmup = 200 * kMillisecond;
+  cfg.drain = kSecond;
+  const auto res = run_workload(sim, group, cfg);
+
+  EXPECT_NEAR(static_cast<double>(res.sent), 300.0, 6.0);  // 3 x 50/s x 2s
+  EXPECT_EQ(res.delivered, res.sent * 6);                  // everyone gets all
+  EXPECT_EQ(res.missing_deliveries, 0u);
+  EXPECT_GT(res.latency_ms.count(), 0u);
+  EXPECT_GT(res.latency_ms.mean(), 0.0);
+}
+
+TEST(Workload, LatencyReflectsProtocolCost) {
+  // Token latency at a single sender must exceed two network hops.
+  Simulation sim(5);
+  Network net(sim.scheduler(), sim.fork_rng(), testing::era_net());
+  Group group(sim, net, 10, make_token_factory());
+  group.start();
+  WorkloadConfig cfg;
+  cfg.senders = 1;
+  cfg.duration = 2 * kSecond;
+  const auto res = run_workload(sim, group, cfg);
+  EXPECT_EQ(res.missing_deliveries, 0u);
+  EXPECT_GT(res.latency_ms.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace msw
