@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_ablation.dir/bench_control_ablation.cpp.o"
+  "CMakeFiles/bench_control_ablation.dir/bench_control_ablation.cpp.o.d"
+  "bench_control_ablation"
+  "bench_control_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

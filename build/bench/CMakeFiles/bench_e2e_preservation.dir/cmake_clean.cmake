@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_preservation.dir/bench_e2e_preservation.cpp.o"
+  "CMakeFiles/bench_e2e_preservation.dir/bench_e2e_preservation.cpp.o.d"
+  "bench_e2e_preservation"
+  "bench_e2e_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

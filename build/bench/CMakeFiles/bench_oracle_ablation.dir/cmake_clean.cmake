@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_ablation.dir/bench_oracle_ablation.cpp.o"
+  "CMakeFiles/bench_oracle_ablation.dir/bench_oracle_ablation.cpp.o.d"
+  "bench_oracle_ablation"
+  "bench_oracle_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2p_switching.dir/bench_p2p_switching.cpp.o"
+  "CMakeFiles/bench_p2p_switching.dir/bench_p2p_switching.cpp.o.d"
+  "bench_p2p_switching"
+  "bench_p2p_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_metaproperties.dir/bench_table2_metaproperties.cpp.o"
+  "CMakeFiles/bench_table2_metaproperties.dir/bench_table2_metaproperties.cpp.o.d"
+  "bench_table2_metaproperties"
+  "bench_table2_metaproperties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_metaproperties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

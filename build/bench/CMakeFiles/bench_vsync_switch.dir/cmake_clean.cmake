@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vsync_switch.dir/bench_vsync_switch.cpp.o"
+  "CMakeFiles/bench_vsync_switch.dir/bench_vsync_switch.cpp.o.d"
+  "bench_vsync_switch"
+  "bench_vsync_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vsync_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

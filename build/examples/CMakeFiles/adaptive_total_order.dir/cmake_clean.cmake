@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_total_order.dir/adaptive_total_order.cpp.o"
+  "CMakeFiles/adaptive_total_order.dir/adaptive_total_order.cpp.o.d"
+  "adaptive_total_order"
+  "adaptive_total_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

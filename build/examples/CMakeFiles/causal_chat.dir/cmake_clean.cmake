@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_chat.dir/causal_chat.cpp.o"
+  "CMakeFiles/causal_chat.dir/causal_chat.cpp.o.d"
+  "causal_chat"
+  "causal_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

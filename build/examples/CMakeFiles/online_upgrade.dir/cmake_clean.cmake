@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_upgrade.dir/online_upgrade.cpp.o"
+  "CMakeFiles/online_upgrade.dir/online_upgrade.cpp.o.d"
+  "online_upgrade"
+  "online_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_escalation.dir/security_escalation.cpp.o"
+  "CMakeFiles/security_escalation.dir/security_escalation.cpp.o.d"
+  "security_escalation"
+  "security_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

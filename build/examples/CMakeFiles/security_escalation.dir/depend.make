@@ -1,0 +1,2 @@
+# Empty dependencies file for security_escalation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/metaswitch.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/net/endpoint.cpp" "src/CMakeFiles/metaswitch.dir/net/endpoint.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/net/endpoint.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/metaswitch.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "src/CMakeFiles/metaswitch.dir/net/stats.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/net/stats.cpp.o.d"
+  "/root/repo/src/proto/amoeba_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/amoeba_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/amoeba_layer.cpp.o.d"
+  "/root/repo/src/proto/causal_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/causal_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/causal_layer.cpp.o.d"
+  "/root/repo/src/proto/confidentiality_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/confidentiality_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/confidentiality_layer.cpp.o.d"
+  "/root/repo/src/proto/fifo_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/fifo_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/fifo_layer.cpp.o.d"
+  "/root/repo/src/proto/integrity_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/integrity_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/integrity_layer.cpp.o.d"
+  "/root/repo/src/proto/link_layers.cpp" "src/CMakeFiles/metaswitch.dir/proto/link_layers.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/link_layers.cpp.o.d"
+  "/root/repo/src/proto/noreplay_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/noreplay_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/noreplay_layer.cpp.o.d"
+  "/root/repo/src/proto/priority_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/priority_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/priority_layer.cpp.o.d"
+  "/root/repo/src/proto/reliable_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/reliable_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/reliable_layer.cpp.o.d"
+  "/root/repo/src/proto/sequencer_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/sequencer_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/sequencer_layer.cpp.o.d"
+  "/root/repo/src/proto/token_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/token_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/token_layer.cpp.o.d"
+  "/root/repo/src/proto/vsync_layer.cpp" "src/CMakeFiles/metaswitch.dir/proto/vsync_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/proto/vsync_layer.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/metaswitch.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/metaswitch.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/stack/capture.cpp" "src/CMakeFiles/metaswitch.dir/stack/capture.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/stack/capture.cpp.o.d"
+  "/root/repo/src/stack/group.cpp" "src/CMakeFiles/metaswitch.dir/stack/group.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/stack/group.cpp.o.d"
+  "/root/repo/src/stack/layer.cpp" "src/CMakeFiles/metaswitch.dir/stack/layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/stack/layer.cpp.o.d"
+  "/root/repo/src/stack/message.cpp" "src/CMakeFiles/metaswitch.dir/stack/message.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/stack/message.cpp.o.d"
+  "/root/repo/src/stack/stack.cpp" "src/CMakeFiles/metaswitch.dir/stack/stack.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/stack/stack.cpp.o.d"
+  "/root/repo/src/switch/hybrid.cpp" "src/CMakeFiles/metaswitch.dir/switch/hybrid.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/switch/hybrid.cpp.o.d"
+  "/root/repo/src/switch/multiplex_layer.cpp" "src/CMakeFiles/metaswitch.dir/switch/multiplex_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/switch/multiplex_layer.cpp.o.d"
+  "/root/repo/src/switch/oracle.cpp" "src/CMakeFiles/metaswitch.dir/switch/oracle.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/switch/oracle.cpp.o.d"
+  "/root/repo/src/switch/switch_layer.cpp" "src/CMakeFiles/metaswitch.dir/switch/switch_layer.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/switch/switch_layer.cpp.o.d"
+  "/root/repo/src/switch/vsync_switch.cpp" "src/CMakeFiles/metaswitch.dir/switch/vsync_switch.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/switch/vsync_switch.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/CMakeFiles/metaswitch.dir/trace/generators.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/generators.cpp.o.d"
+  "/root/repo/src/trace/meta.cpp" "src/CMakeFiles/metaswitch.dir/trace/meta.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/meta.cpp.o.d"
+  "/root/repo/src/trace/properties.cpp" "src/CMakeFiles/metaswitch.dir/trace/properties.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/properties.cpp.o.d"
+  "/root/repo/src/trace/relations.cpp" "src/CMakeFiles/metaswitch.dir/trace/relations.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/relations.cpp.o.d"
+  "/root/repo/src/trace/sp_model.cpp" "src/CMakeFiles/metaswitch.dir/trace/sp_model.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/sp_model.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/metaswitch.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/metaswitch.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/digest.cpp" "src/CMakeFiles/metaswitch.dir/util/digest.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/util/digest.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/metaswitch.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/metaswitch.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/metaswitch.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_layers.dir/test_link_layers.cpp.o"
+  "CMakeFiles/test_link_layers.dir/test_link_layers.cpp.o.d"
+  "test_link_layers"
+  "test_link_layers.pdb"
+  "test_link_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meta_matrix.dir/test_meta_matrix.cpp.o"
+  "CMakeFiles/test_meta_matrix.dir/test_meta_matrix.cpp.o.d"
+  "test_meta_matrix"
+  "test_meta_matrix.pdb"
+  "test_meta_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meta_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meta_robustness.dir/test_meta_robustness.cpp.o"
+  "CMakeFiles/test_meta_robustness.dir/test_meta_robustness.cpp.o.d"
+  "test_meta_robustness"
+  "test_meta_robustness.pdb"
+  "test_meta_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meta_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiplex.dir/test_multiplex.cpp.o"
+  "CMakeFiles/test_multiplex.dir/test_multiplex.cpp.o.d"
+  "test_multiplex"
+  "test_multiplex.pdb"
+  "test_multiplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peer_assist.dir/test_peer_assist.cpp.o"
+  "CMakeFiles/test_peer_assist.dir/test_peer_assist.cpp.o.d"
+  "test_peer_assist"
+  "test_peer_assist.pdb"
+  "test_peer_assist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peer_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_peer_assist.
+# This may be replaced when dependencies are built.

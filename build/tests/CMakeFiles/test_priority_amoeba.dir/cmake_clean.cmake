@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_amoeba.dir/test_priority_amoeba.cpp.o"
+  "CMakeFiles/test_priority_amoeba.dir/test_priority_amoeba.cpp.o.d"
+  "test_priority_amoeba"
+  "test_priority_amoeba.pdb"
+  "test_priority_amoeba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_amoeba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relations.dir/test_relations.cpp.o"
+  "CMakeFiles/test_relations.dir/test_relations.cpp.o.d"
+  "test_relations"
+  "test_relations.pdb"
+  "test_relations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable_layer.dir/test_reliable_layer.cpp.o"
+  "CMakeFiles/test_reliable_layer.dir/test_reliable_layer.cpp.o.d"
+  "test_reliable_layer"
+  "test_reliable_layer.pdb"
+  "test_reliable_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

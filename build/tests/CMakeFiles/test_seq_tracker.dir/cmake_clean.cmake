@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_tracker.dir/test_seq_tracker.cpp.o"
+  "CMakeFiles/test_seq_tracker.dir/test_seq_tracker.cpp.o.d"
+  "test_seq_tracker"
+  "test_seq_tracker.pdb"
+  "test_seq_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

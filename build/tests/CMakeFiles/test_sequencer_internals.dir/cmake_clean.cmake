@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequencer_internals.dir/test_sequencer_internals.cpp.o"
+  "CMakeFiles/test_sequencer_internals.dir/test_sequencer_internals.cpp.o.d"
+  "test_sequencer_internals"
+  "test_sequencer_internals.pdb"
+  "test_sequencer_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequencer_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

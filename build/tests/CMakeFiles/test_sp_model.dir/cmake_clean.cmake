@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp_model.dir/test_sp_model.cpp.o"
+  "CMakeFiles/test_sp_model.dir/test_sp_model.cpp.o.d"
+  "test_sp_model"
+  "test_sp_model.pdb"
+  "test_sp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

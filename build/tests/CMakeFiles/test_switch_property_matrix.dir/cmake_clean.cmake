@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_property_matrix.dir/test_switch_property_matrix.cpp.o"
+  "CMakeFiles/test_switch_property_matrix.dir/test_switch_property_matrix.cpp.o.d"
+  "test_switch_property_matrix"
+  "test_switch_property_matrix.pdb"
+  "test_switch_property_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_property_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_stress.dir/test_switch_stress.cpp.o"
+  "CMakeFiles/test_switch_stress.dir/test_switch_stress.cpp.o.d"
+  "test_switch_stress"
+  "test_switch_stress.pdb"
+  "test_switch_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

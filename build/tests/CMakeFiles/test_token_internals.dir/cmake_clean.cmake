@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_internals.dir/test_token_internals.cpp.o"
+  "CMakeFiles/test_token_internals.dir/test_token_internals.cpp.o.d"
+  "test_token_internals"
+  "test_token_internals.pdb"
+  "test_token_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

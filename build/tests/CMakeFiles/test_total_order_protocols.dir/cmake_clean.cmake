@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_total_order_protocols.dir/test_total_order_protocols.cpp.o"
+  "CMakeFiles/test_total_order_protocols.dir/test_total_order_protocols.cpp.o.d"
+  "test_total_order_protocols"
+  "test_total_order_protocols.pdb"
+  "test_total_order_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_total_order_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

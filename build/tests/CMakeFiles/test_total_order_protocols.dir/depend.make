@@ -1,0 +1,2 @@
+# Empty dependencies file for test_total_order_protocols.
+# This may be replaced when dependencies are built.

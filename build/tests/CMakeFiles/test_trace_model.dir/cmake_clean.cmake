@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_model.dir/test_trace_model.cpp.o"
+  "CMakeFiles/test_trace_model.dir/test_trace_model.cpp.o.d"
+  "test_trace_model"
+  "test_trace_model.pdb"
+  "test_trace_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsync_layer.dir/test_vsync_layer.cpp.o"
+  "CMakeFiles/test_vsync_layer.dir/test_vsync_layer.cpp.o.d"
+  "test_vsync_layer"
+  "test_vsync_layer.pdb"
+  "test_vsync_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsync_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

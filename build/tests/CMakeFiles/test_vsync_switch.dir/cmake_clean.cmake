@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsync_switch.dir/test_vsync_switch.cpp.o"
+  "CMakeFiles/test_vsync_switch.dir/test_vsync_switch.cpp.o.d"
+  "test_vsync_switch"
+  "test_vsync_switch.pdb"
+  "test_vsync_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsync_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
