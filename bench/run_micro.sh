@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Micro-benchmark smoke run for the zero-copy message path.
+#
+# Builds bench_micro + bench_group_scaling in Release, runs them, and
+# emits BENCH_micro.json at the repo root containing:
+#   - "before": the checked-in seed baseline (bench/baseline_seed.json),
+#     captured from the pre-refactor tree with these same benchmarks
+#   - "after":  a fresh run of the current tree
+#   - "speedups": before/after ratios for the headline benchmarks
+#   - "methodology": compiler, flags, machine, repetition count
+#
+# Usage: bench/run_micro.sh [build-dir]   (default: build-rel)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-rel}"
+REPS="${BENCH_REPS:-3}"
+FILTER='BM_WriterReaderRoundTrip|BM_MessageHeaderPushPop|BM_SchedulerDispatch|BM_SchedulerCancelHeavy|BM_SchedulerChurn|BM_MulticastFanOut'
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j --target bench_micro bench_group_scaling
+
+AFTER_JSON="$(mktemp)"
+SCALING_TXT="$(mktemp)"
+trap 'rm -f "${AFTER_JSON}" "${SCALING_TXT}"' EXIT
+
+"${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${AFTER_JSON}" \
+  --benchmark_out_format=json
+
+"${BUILD_DIR}/bench/bench_group_scaling" | tee "${SCALING_TXT}"
+
+BENCH_AFTER_JSON="${AFTER_JSON}" BENCH_SCALING_TXT="${SCALING_TXT}" \
+BENCH_BUILD_DIR="${BUILD_DIR}" BENCH_REPS="${REPS}" \
+python3 - "${REPO_ROOT}" <<'PY'
+import json, os, platform, subprocess, sys
+
+repo = sys.argv[1]
+after_raw = json.load(open(os.environ["BENCH_AFTER_JSON"]))
+before_raw = json.load(open(os.path.join(repo, "bench", "baseline_seed.json")))
+
+def means(raw):
+    # Prefer the mean aggregate; with a single repetition google-benchmark
+    # emits only plain iteration entries, so fall back to those.
+    out = {}
+    for b in raw["benchmarks"]:
+        if b.get("aggregate_name") == "mean" or (
+            b.get("run_type") == "iteration" and b["run_name"] not in out
+        ):
+            out[b["run_name"]] = {
+                "real_time_ns": b["real_time"],
+                "cpu_time_ns": b["cpu_time"],
+            }
+    return out
+
+before, after = means(before_raw), means(after_raw)
+
+headline = {
+    "MulticastFanOut/32": "BM_MulticastFanOut/32",
+    "MulticastFanOut/8": "BM_MulticastFanOut/8",
+    "SchedulerDispatch": "BM_SchedulerDispatch",
+    "SchedulerCancelHeavy": "BM_SchedulerCancelHeavy",
+    "MessageHeaderPushPop/8": "BM_MessageHeaderPushPop/8",
+    "WriterReaderRoundTrip": "BM_WriterReaderRoundTrip",
+}
+speedups = {}
+for label, name in headline.items():
+    if name in before and name in after:
+        b, a = before[name]["real_time_ns"], after[name]["real_time_ns"]
+        speedups[label] = {
+            "before_ns": round(b, 1),
+            "after_ns": round(a, 1),
+            "speedup_x": round(b / a, 2),
+            "reduction_pct": round(100.0 * (1.0 - a / b), 1),
+        }
+
+def compiler_version():
+    try:
+        cache = open(os.path.join(os.environ["BENCH_BUILD_DIR"], "CMakeCache.txt")).read()
+        cxx = [l.split("=", 1)[1] for l in cache.splitlines()
+               if l.startswith("CMAKE_CXX_COMPILER:")][0]
+        return subprocess.check_output([cxx, "--version"], text=True).splitlines()[0]
+    except Exception:
+        return "unknown"
+
+doc = {
+    "suite": "zero-copy message path microbenchmarks",
+    "methodology": {
+        "build_type": "Release",
+        "cxx_flags": "-O3 -DNDEBUG (CMake Release) + project -std=c++20",
+        "compiler": compiler_version(),
+        "machine": platform.platform(),
+        "cpu": after_raw["context"].get("host_name", "unknown") + ", "
+               + str(after_raw["context"].get("num_cpus", "?")) + " cpus @ "
+               + str(after_raw["context"].get("mhz_per_cpu", "?")) + " MHz",
+        "repetitions": int(os.environ["BENCH_REPS"]),
+        "statistic": "mean of repetitions, real time",
+        "before": "seed tree (commit 78082b4) with identical benchmark sources",
+        "after": "current tree",
+        "date": after_raw["context"]["date"],
+    },
+    "speedups": speedups,
+    "before": before,
+    "after": after,
+    "group_scaling_stdout": open(os.environ["BENCH_SCALING_TXT"]).read(),
+}
+out = os.path.join(repo, "BENCH_micro.json")
+json.dump(doc, open(out, "w"), indent=2)
+print(f"\nwrote {out}")
+for label, s in speedups.items():
+    print(f"  {label:24s} {s['before_ns']:>10.1f} -> {s['after_ns']:>10.1f} ns   "
+          f"{s['speedup_x']}x ({s['reduction_pct']}% faster)")
+PY

@@ -50,7 +50,7 @@ int main() {
   const char* names[] = {"alice", "bob", "carol"};
   std::vector<std::vector<std::string>> screens(room.size());
   for (std::size_t i = 0; i < room.size(); ++i) {
-    room.stack(i).set_on_deliver([&, i](const MsgId& id, const Bytes& body) {
+    room.stack(i).set_on_deliver([&, i](const MsgId& id, std::span<const Byte> body) {
       screens[i].push_back(std::string(names[id.sender % 3]) + ": " +
                            to_string(std::span<const Byte>(body)));
     });

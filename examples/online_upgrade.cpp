@@ -67,7 +67,7 @@ int main() {
   std::vector<std::uint64_t> checksum(group.size(), 0);
   std::vector<std::uint64_t> count(group.size(), 0);
   for (std::size_t i = 0; i < group.size(); ++i) {
-    group.stack(i).set_on_deliver([&, i](const MsgId&, const Bytes& body) {
+    group.stack(i).set_on_deliver([&, i](const MsgId&, std::span<const Byte> body) {
       checksum[i] ^= fnv1a(body);
       ++count[i];
     });

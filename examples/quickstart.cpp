@@ -27,7 +27,7 @@ int main() {
 
   // 3. Deliveries arrive through a callback; every member sees the same
   //    totally-ordered stream.
-  group.stack(0).set_on_deliver([&](const MsgId& id, const Bytes& body) {
+  group.stack(0).set_on_deliver([&](const MsgId& id, std::span<const Byte> body) {
     std::printf("  [member 0, t=%6.2f ms] delivered %-8s from process %u\n",
                 to_ms(sim.now()), to_string(std::span<const Byte>(body)).c_str(), id.sender);
   });

@@ -54,7 +54,7 @@ LayerFactory protected_stack() {
 /// `impersonated`: app header + fifo p2p-pass? No — we mimic the exact
 /// headers the plain stack would produce for a group message, which any
 /// LAN attacker can reproduce since the stack is unauthenticated.
-Bytes forge_plain_frame(std::uint32_t impersonated, std::uint64_t app_seq,
+Payload forge_plain_frame(std::uint32_t impersonated, std::uint64_t app_seq,
                         std::uint64_t fifo_seq, std::uint64_t rel_seq,
                         const std::string& text) {
   Message m = Message::group(to_bytes(text));
@@ -93,7 +93,7 @@ int main() {
 
   const NodeId attacker = net.add_node();
   std::vector<std::string> member0_log;
-  group.stack(0).set_on_deliver([&](const MsgId& id, const Bytes& body) {
+  group.stack(0).set_on_deliver([&](const MsgId& id, std::span<const Byte> body) {
     member0_log.push_back("from p" + std::to_string(id.sender) + ": " +
                           to_string(std::span<const Byte>(body)));
   });

@@ -36,8 +36,8 @@ class Endpoint {
 
   void set_handler(PacketHandler handler) { net_.set_handler(id_, std::move(handler)); }
 
-  void send(NodeId to, Bytes data) { net_.send(id_, to, std::move(data)); }
-  void multicast(const std::vector<NodeId>& to, Bytes data) {
+  void send(NodeId to, Payload data) { net_.send(id_, to, std::move(data)); }
+  void multicast(const std::vector<NodeId>& to, Payload data) {
     net_.multicast(id_, to, std::move(data));
   }
 

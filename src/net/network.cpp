@@ -76,7 +76,7 @@ void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
   });
 }
 
-void Network::send(NodeId from, NodeId to, Bytes data) {
+void Network::send(NodeId from, NodeId to, Payload data) {
   assert(from.v < nodes_.size() && to.v < nodes_.size());
   if (!nodes_[from.v].up) {
     ++stats_.copies_dropped_node;
@@ -95,14 +95,16 @@ void Network::send(NodeId from, NodeId to, Bytes data) {
   deliver_copy(to, Packet{from, std::move(data)}, on_wire + propagation(from, to));
 }
 
-void Network::multicast(NodeId from, const std::vector<NodeId>& to, Bytes data) {
+void Network::multicast(NodeId from, const std::vector<NodeId>& to, Payload data) {
   assert(from.v < nodes_.size());
   if (!nodes_[from.v].up) {
     ++stats_.copies_dropped_node;
     return;
   }
   ++stats_.multicasts_sent;
-  // One serialization regardless of fan-out: hardware multicast.
+  // One serialization regardless of fan-out: hardware multicast. Every
+  // delivered copy aliases `data`'s shared buffer; the fan-out loop only
+  // bumps a refcount per destination.
   const Time on_wire = transmit_time(from, data.size());
   for (NodeId dest : to) {
     assert(dest.v < nodes_.size());

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,16 +22,20 @@
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "util/bytes.hpp"
+#include "util/function_ref.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 
 namespace msw {
 
 /// A datagram in flight. `src` is trustworthy in the simulator (the network
 /// stamps it); protocols must not rely on it for *authenticated* identity —
-/// that is what the integrity layer is for.
+/// that is what the integrity layer is for. The payload is a shared
+/// refcounted buffer: an N-destination multicast enqueues N Packets that
+/// alias one allocation (hardware multicast in memory as on the wire).
 struct Packet {
   NodeId src;
-  Bytes data;
+  Payload data;
 };
 
 struct NetConfig {
@@ -54,8 +57,10 @@ struct NetConfig {
   double loss = 0.0;
 };
 
-/// Receiver callback installed per node.
-using PacketHandler = std::function<void(Packet)>;
+/// Receiver callback installed per node. Move-only with inline storage:
+/// installing a stack's receive hook never heap-allocates, and the
+/// dispatch is one indirect call.
+using PacketHandler = UniqueFunction<void(Packet)>;
 
 class Network {
  public:
@@ -73,11 +78,12 @@ class Network {
   void set_handler(NodeId node, PacketHandler handler);
 
   /// Point-to-point datagram. Sending to self uses the loopback path.
-  void send(NodeId from, NodeId to, Bytes data);
+  void send(NodeId from, NodeId to, Payload data);
 
   /// Hardware multicast: one serialization on the wire, every destination
-  /// (including `from` itself, if listed) receives a copy.
-  void multicast(NodeId from, const std::vector<NodeId>& to, Bytes data);
+  /// (including `from` itself, if listed) receives a copy. The copies all
+  /// share `data`'s buffer — fan-out is O(1) per destination, not O(bytes).
+  void multicast(NodeId from, const std::vector<NodeId>& to, Payload data);
 
   /// Partition control. Both directions are affected independently.
   void set_link_up(NodeId from, NodeId to, bool up);

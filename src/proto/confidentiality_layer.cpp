@@ -9,7 +9,7 @@ void ConfidentialityLayer::down(Message m) {
   // plaintexts produce different ciphertexts.
   const std::uint64_t nonce =
       (static_cast<std::uint64_t>(ctx().self().v) << 40) | next_nonce_++;
-  stream_crypt(key_, nonce, std::span<Byte>(m.data));
+  stream_crypt(key_, nonce, m.data.mutable_view());
   m.push_header([&](Writer& w) { w.u64(nonce); });
   ctx().send_down(std::move(m));
 }
@@ -21,7 +21,7 @@ void ConfidentialityLayer::up(Message m) {
   } catch (const DecodeError&) {
     return;  // not one of ours
   }
-  stream_crypt(key_, nonce, std::span<Byte>(m.data));
+  stream_crypt(key_, nonce, m.data.mutable_view());
   ctx().deliver_up(std::move(m));
 }
 

@@ -7,7 +7,7 @@ namespace msw {
 
 void IntegrityLayer::down(Message m) {
   const std::uint32_t sender = ctx().self().v;
-  const std::uint64_t tag = mac(key_, sender, m.data);
+  const std::uint64_t tag = mac(key_, sender, m.data.view());
   m.push_header([&](Writer& w) {
     w.u32(sender);
     w.u64(tag);
@@ -27,7 +27,7 @@ void IntegrityLayer::up(Message m) {
     ++stats_.rejected;
     return;
   }
-  if (mac(key_, claimed_sender, m.data) != tag) {
+  if (mac(key_, claimed_sender, m.data.view()) != tag) {
     ++stats_.rejected;
     MSW_LOG(kDebug, "integrity", ctx().now())
         << to_string(ctx().self()) << " rejected forged message (claimed sender "

@@ -7,7 +7,7 @@ namespace {
 
 enum class Type : std::uint8_t { kData = 0, kAck = 1, kPass = 2, kLoop = 3 };
 
-Bytes make_data_frame(Message&& m, std::uint64_t seq) {
+Payload make_data_frame(Message&& m, std::uint64_t seq) {
   m.push_header([&](Writer& w) {
     w.u8(static_cast<std::uint8_t>(Type::kData));
     w.u64(seq);
@@ -33,10 +33,11 @@ NodeId LinkLayerBase::peer() const {
 }
 
 void LinkLayerBase::loop_back(const Message& m) {
-  // A copy of the payload (without our header) returns to our own
-  // application, mirroring the group protocols' self-delivery. Deferred a
-  // tick to keep the down-path non-reentrant.
-  Bytes copy = m.data;
+  // The payload (without our header) returns to our own application,
+  // mirroring the group protocols' self-delivery. Deferred a tick to keep
+  // the down-path non-reentrant. Sharing the buffer here is free; the kLoop
+  // header push below pays the one copy-on-write if it is still shared.
+  Payload copy = m.data;
   ctx().set_timer(0, [this, copy = std::move(copy)]() mutable {
     Message local;
     local.data = std::move(copy);
@@ -131,7 +132,7 @@ void GoBackNLayer::pump() {
   bool sent = false;
   while (!backlog_.empty() && window_.size() < cfg_.window) {
     const std::uint64_t seq = base_ + window_.size();
-    Bytes frame = std::move(backlog_.front());
+    Payload frame = std::move(backlog_.front());
     backlog_.pop_front();
     transmit(seq, frame);
     window_.emplace(seq, std::move(frame));
@@ -140,7 +141,7 @@ void GoBackNLayer::pump() {
   if (sent) arm_timer();
 }
 
-void GoBackNLayer::transmit(std::uint64_t seq, const Bytes& frame) {
+void GoBackNLayer::transmit(std::uint64_t seq, const Payload& frame) {
   (void)seq;  // the seq is baked into the frame
   ctx().send_down(Message::p2p(peer(), frame));
 }

@@ -64,7 +64,7 @@ class StopAndWaitLayer : public LinkLayerBase {
   void arm_timer(std::uint64_t seq);
 
   LinkConfig cfg_;
-  std::deque<Bytes> queue_;  // wire-form frames awaiting their turn
+  std::deque<Payload> queue_;  // wire-form frames awaiting their turn (shared buffers)
   bool awaiting_ack_ = false;
   std::uint64_t send_seq_ = 0;   // seq of the frame currently in flight
   std::uint64_t next_seq_ = 0;   // next seq to assign
@@ -93,11 +93,11 @@ class GoBackNLayer : public LinkLayerBase {
  private:
   void pump();
   void arm_timer();
-  void transmit(std::uint64_t seq, const Bytes& frame);
+  void transmit(std::uint64_t seq, const Payload& frame);
 
   LinkConfig cfg_;
-  std::deque<Bytes> backlog_;               // frames beyond the window
-  std::map<std::uint64_t, Bytes> window_;   // unacked frames in flight
+  std::deque<Payload> backlog_;               // frames beyond the window
+  std::map<std::uint64_t, Payload> window_;   // unacked frames in flight (shared)
   std::uint64_t next_seq_ = 0;
   std::uint64_t base_ = 0;     // lowest unacked seq
   std::uint64_t expect_ = 0;   // receiver side: next expected

@@ -5,7 +5,7 @@
 namespace msw {
 
 void NoReplayLayer::up(Message m) {
-  const std::uint64_t digest = fnv1a(m.data);
+  const std::uint64_t digest = fnv1a(m.data.view());
   if (!seen_.insert(digest).second) {
     ++replays_dropped_;
     return;

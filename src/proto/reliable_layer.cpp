@@ -41,13 +41,15 @@ void ReliableLayer::down(Message m) {
     w.u32(origin);
     w.u64(seq);
   });
-  sent_buffer_.emplace(seq, m.data);  // copy retained for retransmission
+  sent_buffer_.emplace(seq, m.data);  // shares the buffer for retransmission
   ctx().send_down(std::move(m));
 }
 
 void ReliableLayer::up(Message m) {
-  // peer_assist needs the wire form (header included) to store for peers.
-  Bytes wire_copy;
+  // peer_assist needs the wire form (header included) to store for peers;
+  // grabbing it before the pops below is free — the Payload shares the
+  // receive buffer and keeps its own (longer) logical view of it.
+  Payload wire_copy;
   if (cfg_.peer_assist) wire_copy = m.data;
 
   Type type{};
@@ -115,7 +117,7 @@ void ReliableLayer::up(Message m) {
 }
 
 void ReliableLayer::on_data(std::uint32_t origin, std::uint64_t seq, Message m,
-                            const Bytes& wire_copy) {
+                            const Payload& wire_copy) {
   OriginState& o = origins_[origin];
   o.announced = std::max(o.announced, seq + 1);
   if (o.received(seq)) {
@@ -154,7 +156,7 @@ void ReliableLayer::on_nack(NodeId requester, std::uint32_t origin,
   const bool own_stream = origin == ctx().self().v;
   if (!own_stream && !cfg_.peer_assist) return;  // stale or misrouted
   for (std::uint64_t seq : seqs) {
-    const Bytes* copy = nullptr;
+    const Payload* copy = nullptr;
     if (own_stream) {
       auto it = sent_buffer_.find(seq);
       if (it != sent_buffer_.end()) copy = &it->second;

@@ -75,7 +75,7 @@ class ReliableLayer : public Layer {
     }
   };
 
-  void on_data(std::uint32_t origin, std::uint64_t seq, Message m, const Bytes& wire_copy);
+  void on_data(std::uint32_t origin, std::uint64_t seq, Message m, const Payload& wire_copy);
   void on_nack(NodeId requester, std::uint32_t origin, const std::vector<std::uint64_t>& seqs);
   void on_heartbeat(std::uint32_t origin, std::uint64_t next_seq);
   void on_ack(std::uint32_t from, std::uint64_t contiguous);
@@ -91,14 +91,15 @@ class ReliableLayer : public Layer {
 
   ReliableConfig cfg_;
   std::uint64_t next_seq_ = 0;
-  // Copies of our own multicasts, kept until every member has acked.
-  std::map<std::uint64_t, Bytes> sent_buffer_;
+  // Our own multicasts, kept until every member has acked. Payloads share
+  // the wire buffer, so retention and retransmission are copy-free.
+  std::map<std::uint64_t, Payload> sent_buffer_;
   // Per-member contiguous ack for our stream (indexed by member order).
   std::unordered_map<std::uint32_t, std::uint64_t> acked_by_;
   std::unordered_map<std::uint32_t, OriginState> origins_;
-  // peer_assist: copies of everyone's delivered messages until stability,
-  // and the full ack matrix member -> origin -> contiguous.
-  std::map<std::uint32_t, std::map<std::uint64_t, Bytes>> store_;
+  // peer_assist: everyone's delivered messages (shared buffers) until
+  // stability, and the full ack matrix member -> origin -> contiguous.
+  std::map<std::uint32_t, std::map<std::uint64_t, Payload>> store_;
   std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>> ack_matrix_;
   std::size_t nack_rotation_ = 0;
   Stats stats_;

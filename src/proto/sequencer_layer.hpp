@@ -87,12 +87,12 @@ class SequencerLayer : public Layer {
 
   // Sender state.
   std::uint64_t next_oseq_ = 0;
-  std::map<std::uint64_t, Bytes> pending_;  // oseq -> order-request bytes
+  std::map<std::uint64_t, Payload> pending_;  // oseq -> order-request frame (shared)
 
   // Sequencer state.
   std::uint64_t next_gseq_ = 0;
   std::unordered_map<std::uint32_t, SeqTracker> sequenced_oseqs_;
-  std::map<std::uint64_t, Bytes> history_;  // gseq -> sequenced bytes
+  std::map<std::uint64_t, Payload> history_;  // gseq -> sequenced frame (shared)
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> assigned_;  // (origin,oseq)->gseq
   std::unordered_map<std::uint32_t, std::uint64_t> gc_acked_;
 

@@ -156,7 +156,7 @@ void TokenLayer::process_token(Token t) {
   }
 }
 
-Bytes TokenLayer::encode_token(const Token& t) const {
+Payload TokenLayer::encode_token(const Token& t) const {
   Message m = Message::group({});
   m.push_header([&](Writer& w) {
     w.u8(static_cast<std::uint8_t>(Type::kToken));

@@ -83,12 +83,12 @@ class TokenLayer : public Layer {
   void on_data(std::uint64_t gseq, Message m);
   void on_nack(NodeId requester, const std::vector<std::uint64_t>& gseqs);
   void send_gap_nacks();
-  Bytes encode_token(const Token& t) const;
+  Payload encode_token(const Token& t) const;
 
   TokenConfig cfg_;
 
   std::vector<Message> queued_;
-  std::map<std::uint64_t, Bytes> history_;  // gseq -> our multicast bytes
+  std::map<std::uint64_t, Payload> history_;  // gseq -> our multicast frame (shared)
 
   std::uint64_t next_deliver_ = 0;
   std::uint64_t highest_gseq_seen_ = 0;
@@ -98,7 +98,7 @@ class TokenLayer : public Layer {
   NodeId last_token_sender_{};
   // Outstanding handoff awaiting ack (serial 0 = none).
   std::uint64_t outstanding_serial_ = 0;
-  Bytes outstanding_bytes_;
+  Payload outstanding_bytes_;
   Stats stats_;
 };
 

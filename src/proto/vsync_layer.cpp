@@ -25,7 +25,7 @@ Bytes encode_view_body(const std::vector<std::uint32_t>& members) {
   return b;
 }
 
-std::vector<std::uint32_t> decode_view_body(const Bytes& body) {
+std::vector<std::uint32_t> decode_view_body(std::span<const Byte> body) {
   Reader r(body);
   const std::uint32_t n = r.u32();
   std::vector<std::uint32_t> members;

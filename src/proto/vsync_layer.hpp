@@ -37,7 +37,7 @@ namespace msw {
 
 /// Encoding of a view notification's body (shared with applications).
 Bytes encode_view_body(const std::vector<std::uint32_t>& members);
-std::vector<std::uint32_t> decode_view_body(const Bytes& body);
+std::vector<std::uint32_t> decode_view_body(std::span<const Byte> body);
 
 struct VsyncConfig {
   /// 0: the flush waits for every member (a crashed member wedges the view

@@ -7,11 +7,20 @@ namespace msw {
 EventId Scheduler::at(Time t, Fn fn) {
   assert(t >= now_ && "cannot schedule into the past");
   if (t < now_) t = now_;
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Ev{t, id, id});
-  handlers_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  const std::uint32_t gen = s.gen;
+  queue_.push(Ev{t, next_seq_++, slot, gen});
   ++size_;
-  return EventId{id};
+  return EventId{slot, gen};
 }
 
 EventId Scheduler::after(Duration d, Fn fn) {
@@ -20,29 +29,38 @@ EventId Scheduler::after(Duration d, Fn fn) {
   return at(now_ + d, std::move(fn));
 }
 
+void Scheduler::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (++s.gen == 0) s.gen = 1;  // skip the reserved invalid generation
+  free_slots_.push_back(slot);
+}
+
 void Scheduler::cancel(EventId id) {
-  if (!id.valid()) return;
-  auto it = handlers_.find(id.v);
-  if (it == handlers_.end()) return;
-  handlers_.erase(it);
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.gen != id.gen) return;  // already run, cancelled, or recycled
+  // Destroy the handler now: a cancelled closure's captures (buffers,
+  // refcounts) must not linger until the stale heap entry drains.
+  s.fn = nullptr;
+  retire_slot(id.slot);
   --size_;
 }
 
 bool Scheduler::pop_one() {
   while (!queue_.empty()) {
-    Ev ev = queue_.top();
-    auto it = handlers_.find(ev.id);
-    if (it == handlers_.end()) {
-      queue_.pop();  // cancelled
+    const Ev ev = queue_.top();
+    Slot& s = slots_[ev.slot];
+    if (s.gen != ev.gen) {
+      queue_.pop();  // cancelled; handler was already destroyed
       continue;
     }
     now_ = ev.t;
-    Fn fn = std::move(it->second);
-    handlers_.erase(it);
+    Fn fn = std::move(s.fn);
+    retire_slot(ev.slot);
     queue_.pop();
     --size_;
     ++executed_;
-    fn();
+    if (fn) fn();
     return true;
   }
   return false;
@@ -53,7 +71,7 @@ bool Scheduler::step() { return pop_one(); }
 void Scheduler::run_until(Time t) {
   while (!queue_.empty()) {
     // Skip cancelled heads without advancing the clock.
-    if (handlers_.find(queue_.top().id) == handlers_.end()) {
+    if (slots_[queue_.top().slot].gen != queue_.top().gen) {
       queue_.pop();
       continue;
     }

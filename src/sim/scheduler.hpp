@@ -2,30 +2,40 @@
 //
 // Events execute in (time, insertion-sequence) order, so simultaneous
 // events run in a deterministic order and the whole simulation is exactly
-// reproducible for a given seed. Cancellation is lazy: cancelled events
-// stay in the heap but are skipped when popped.
+// reproducible for a given seed.
+//
+// Handlers live in a slot pool indexed by the heap entries: an EventId is
+// a (slot, generation) pair, and every scheduling operation is an O(1)
+// array access instead of a hash-map probe. Cancellation destroys the
+// handler eagerly and bumps the slot's generation; the stale heap entry
+// is skipped when popped because its recorded generation no longer
+// matches. Slots are recycled through a free list, so the steady-state
+// hot loop (schedule, dispatch, retire) performs no allocation at all
+// when handler captures fit UniqueFunction's inline buffer.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/function_ref.hpp"
 
 namespace msw {
 
-/// Handle for a scheduled event, usable with Scheduler::cancel.
+/// Handle for a scheduled event, usable with Scheduler::cancel. A default
+/// constructed id is invalid; ids are never reused (generations advance
+/// when a slot is recycled).
 struct EventId {
-  std::uint64_t v = 0;
-  bool valid() const { return v != 0; }
-  friend bool operator==(EventId a, EventId b) { return a.v == b.v; }
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  bool valid() const { return gen != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.slot == b.slot && a.gen == b.gen; }
 };
 
 class Scheduler {
  public:
-  using Fn = std::function<void()>;
+  using Fn = UniqueFunction<void()>;
 
   /// Schedule fn at absolute time t (>= now).
   EventId at(Time t, Fn fn);
@@ -33,8 +43,10 @@ class Scheduler {
   /// Schedule fn after a relative delay (>= 0).
   EventId after(Duration d, Fn fn);
 
-  /// Cancel a pending event. Cancelling an already-run or unknown event is
-  /// a no-op, so layers may cancel timers unconditionally in teardown.
+  /// Cancel a pending event; its handler (and any resources its closure
+  /// owns) is destroyed immediately. Cancelling an already-run or unknown
+  /// event is a no-op, so layers may cancel timers unconditionally in
+  /// teardown.
   void cancel(EventId id);
 
   /// Run the next pending event. Returns false when the queue is empty.
@@ -58,8 +70,9 @@ class Scheduler {
  private:
   struct Ev {
     Time t;
-    std::uint64_t seq;
-    std::uint64_t id;
+    std::uint64_t seq;   // global insertion order, the deterministic tiebreak
+    std::uint32_t slot;  // handler location
+    std::uint32_t gen;   // must match the slot's generation to be live
   };
   struct Later {
     bool operator()(const Ev& a, const Ev& b) const {
@@ -67,15 +80,25 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Fn fn;
+    std::uint32_t gen = 1;  // 0 is reserved for the invalid EventId
+  };
 
   bool pop_one();
+
+  /// Free a slot for reuse: advance its generation (invalidating any ids
+  /// and heap entries that reference the old one) and push it on the free
+  /// list. The handler must already be moved out or destroyed.
+  void retire_slot(std::uint32_t slot);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t size_ = 0;  // live (non-cancelled) events
   std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
-  std::unordered_map<std::uint64_t, Fn> handlers_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace msw

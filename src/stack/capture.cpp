@@ -2,22 +2,24 @@
 
 namespace msw {
 
-void TraceCapture::record_send(NodeId sender, const MsgId& id, const Bytes& body, Time t) {
+void TraceCapture::record_send(NodeId sender, const MsgId& id, std::span<const Byte> body,
+                               Time t) {
   TraceEvent e;
   e.kind = TraceEvent::Kind::kSend;
   e.process = sender.v;
   e.msg = id;
-  e.body = body;
+  e.body.assign(body.begin(), body.end());
   e.time = t;
   trace_.push_back(std::move(e));
 }
 
-void TraceCapture::record_deliver(NodeId process, const MsgId& id, const Bytes& body, Time t) {
+void TraceCapture::record_deliver(NodeId process, const MsgId& id, std::span<const Byte> body,
+                                  Time t) {
   TraceEvent e;
   e.kind = TraceEvent::Kind::kDeliver;
   e.process = process.v;
   e.msg = id;
-  e.body = body;
+  e.body.assign(body.begin(), body.end());
   e.time = t;
   trace_.push_back(std::move(e));
 }

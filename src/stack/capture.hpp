@@ -6,6 +6,8 @@
 // model, ready for the property checkers in trace/.
 #pragma once
 
+#include <span>
+
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
 #include "trace/trace.hpp"
@@ -14,8 +16,8 @@ namespace msw {
 
 class TraceCapture {
  public:
-  void record_send(NodeId sender, const MsgId& id, const Bytes& body, Time t);
-  void record_deliver(NodeId process, const MsgId& id, const Bytes& body, Time t);
+  void record_send(NodeId sender, const MsgId& id, std::span<const Byte> body, Time t);
+  void record_deliver(NodeId process, const MsgId& id, std::span<const Byte> body, Time t);
 
   const Trace& trace() const { return trace_; }
   void clear() { trace_.clear(); }

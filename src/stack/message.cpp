@@ -2,43 +2,46 @@
 
 namespace msw {
 
-Message Message::group(Bytes payload) {
+Message Message::group(Payload payload) {
   Message m;
   m.data = std::move(payload);
   return m;
 }
 
-Message Message::p2p(NodeId to, Bytes payload) {
+Message Message::p2p(NodeId to, Payload payload) {
   Message m;
   m.data = std::move(payload);
   m.point_to = to;
   return m;
 }
 
-void Message::push_header(const std::function<void(Writer&)>& fill) {
-  const std::size_t before = data.size();
-  Writer w(data);
+void Message::push_header(FunctionRef<void(Writer&)> fill) {
+  Bytes& out = data.begin_append();
+  const std::size_t before = out.size();
+  Writer w(out);
   fill(w);
-  const auto header_len = static_cast<std::uint32_t>(data.size() - before);
-  w.u32(header_len);
+  w.u32(static_cast<std::uint32_t>(out.size() - before));
+  data.end_append();
 }
 
-void Message::pop_header(const std::function<void(Reader&)>& read) {
-  if (data.size() < 4) throw DecodeError("pop_header: buffer too small for length word");
-  Reader len_reader(std::span<const Byte>(data).last(4));
+void Message::pop_header(FunctionRef<void(Reader&)> read) {
+  const std::span<const Byte> v = data.view();
+  if (v.size() < 4) throw DecodeError("pop_header: buffer too small for length word");
+  Reader len_reader(v.last(4));
   const std::uint32_t header_len = len_reader.u32();
-  if (data.size() < 4 + static_cast<std::size_t>(header_len)) {
+  if (v.size() < 4 + static_cast<std::size_t>(header_len)) {
     throw DecodeError("pop_header: header length exceeds buffer");
   }
-  const std::size_t header_begin = data.size() - 4 - header_len;
-  Reader r(std::span<const Byte>(data).subspan(header_begin, header_len));
+  const std::size_t header_begin = v.size() - 4 - header_len;
+  Reader r(v.subspan(header_begin, header_len));
   read(r);
   r.expect_done();
-  data.resize(header_begin);
+  data.shrink(header_begin);
 }
 
 void AppHeader::push(Message& m, const AppHeader& h) {
   m.push_header([&](Writer& w) {
+    w.reserve(13);
     w.u8(static_cast<std::uint8_t>(h.kind));
     w.u32(h.sender);
     w.u64(h.seq);

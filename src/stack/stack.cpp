@@ -42,8 +42,8 @@ void Stack::to_app(Message m) {
   const MsgId id{h.sender, h.seq,
                  h.kind == AppHeader::Kind::kView ? MsgId::Kind::kView : MsgId::Kind::kData};
   ++delivered_;
-  if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data, now());
-  if (on_deliver_) on_deliver_(id, m.data);
+  if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data.view(), now());
+  if (on_deliver_) on_deliver_(id, m.data.view());
 }
 
 void Stack::on_packet(Packet p) {

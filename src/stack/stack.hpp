@@ -17,8 +17,10 @@ namespace msw {
 
 /// Application-side delivery callback. For ordinary messages `id.kind` is
 /// kData and `body` is the payload; membership layers may also deliver
-/// view notifications (kind kView, body = encoded member list).
-using DeliverFn = std::function<void(const MsgId& id, const Bytes& body)>;
+/// view notifications (kind kView, body = encoded member list). The body
+/// is a borrowed view of the (possibly shared) receive buffer — copy it if
+/// it must outlive the callback.
+using DeliverFn = std::function<void(const MsgId& id, std::span<const Byte> body)>;
 
 class Stack : public Services {
  public:

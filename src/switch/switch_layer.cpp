@@ -202,7 +202,7 @@ void SwitchLayer::complete_local_switch() {
 // Control path: the three-rotation switch token
 // --------------------------------------------------------------------------
 
-Bytes SwitchLayer::encode_token(const Token& t) const {
+Payload SwitchLayer::encode_token(const Token& t) const {
   Message m = Message::group({});
   m.push_header([&](Writer& w) {
     w.u8(static_cast<std::uint8_t>(CtlType::kToken));

@@ -147,7 +147,7 @@ class SwitchLayer : public Layer {
   void begin_prepare_local();
   void forward_token(Token t, bool count_hop = true);
   void arm_token_retransmit(std::uint64_t serial);
-  Bytes encode_token(const Token& t) const;
+  Payload encode_token(const Token& t) const;
   static Token decode_token(Reader& r);
 
   LayerChain& chain(int protocol) { return protocol == 0 ? *chain_a_ : *chain_b_; }
@@ -184,7 +184,7 @@ class SwitchLayer : public Layer {
   // --- token transport ---------------------------------------------------
   std::uint64_t last_serial_seen_ = 0;
   std::uint64_t outstanding_serial_ = 0;
-  Bytes outstanding_bytes_;
+  Payload outstanding_bytes_;
   bool switch_requested_ = false;
   Time last_switch_time_ = 0;
 

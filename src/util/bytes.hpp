@@ -51,6 +51,10 @@ class Writer {
   /// Length-prefixed (u32) character string.
   void str(std::string_view s);
 
+  /// Pre-size the buffer for `n` more bytes; a header of known width pays
+  /// one capacity check instead of one per field.
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
+
   /// Number of bytes written through this Writer so far is not tracked;
   /// callers needing sizes should snapshot out().size().
   const Bytes& out() const { return out_; }
@@ -58,8 +62,13 @@ class Writer {
  private:
   template <typename T>
   void put_le(T v) {
+    // Single resize + direct stores: the little-endian byte spread compiles
+    // to one unaligned store, vs. sizeof(T) push_back capacity checks.
+    const std::size_t n = out_.size();
+    out_.resize(n + sizeof(T));
+    Byte* p = out_.data() + n;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      out_.push_back(static_cast<Byte>((v >> (8 * i)) & 0xff));
+      p[i] = static_cast<Byte>((v >> (8 * i)) & 0xff);
     }
   }
 

@@ -1,0 +1,164 @@
+// Lightweight callable vocabulary types for the hot message/event path.
+//
+// FunctionRef is a non-owning view of a callable: two words, trivially
+// copyable, no allocation, no virtual dispatch beyond one indirect call.
+// It is the right parameter type for "call me back before I return"
+// interfaces (Message::push_header / pop_header): the callee never stores
+// it, so lifetime is the caller's stack frame and a std::function's
+// ownership (and potential heap allocation per call site) is pure waste.
+//
+// UniqueFunction is an owning, move-only callable with a small-buffer
+// optimization: captures up to kInlineSize bytes live inline (typical
+// scheduler closures: a this-pointer, a NodeId, a refcounted Payload),
+// larger ones fall back to the heap. Unlike std::function it never
+// requires copyability of the target, so closures may own move-only
+// state, and moving it never allocates. The scheduler stores these in
+// its slot pool; the network stores one per node as the receive handler.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace msw {
+
+template <typename Sig>
+class FunctionRef;
+
+/// Non-owning reference to a callable with signature R(Args...). The
+/// referenced callable must outlive every invocation — bind only to
+/// lvalues or to temporaries that live for the full expression (the
+/// normal "call a lambda passed as an argument" pattern).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design, mirrors std::function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+namespace detail {
+
+/// Inline capture capacity of UniqueFunction. 48 bytes holds every closure
+/// the simulator schedules on its hot paths (delivery continuations carry
+/// a this-pointer, a NodeId, a Time and a refcounted Payload).
+inline constexpr std::size_t kInlineSize = 48;
+
+enum class FnOp { kMove, kDestroy };
+
+}  // namespace detail
+
+template <typename Sig>
+class UniqueFunction;
+
+/// Owning move-only callable with inline storage for small captures.
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= detail::kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      call_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](detail::FnOp op, void* dst, void* src) {
+        if (op == detail::FnOp::kMove) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        } else {
+          static_cast<Fn*>(dst)->~Fn();
+        }
+      };
+    } else {
+      // Heap fallback: storage_ holds a single pointer to the target.
+      auto* p = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) Fn*(p);
+      call_ = [](void* obj, Args... args) -> R {
+        return (**static_cast<Fn**>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = [](detail::FnOp op, void* dst, void* src) {
+        if (op == detail::FnOp::kMove) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        } else {
+          delete *static_cast<Fn**>(dst);
+        }
+      };
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+  R operator()(Args... args) {
+    return call_(static_cast<void*>(storage_), std::forward<Args>(args)...);
+  }
+
+ private:
+  using Call = R (*)(void*, Args...);
+  using Manage = void (*)(detail::FnOp, void* dst, void* src);
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(detail::FnOp::kDestroy, storage_, nullptr);
+    call_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    call_ = other.call_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(detail::FnOp::kMove, storage_, other.storage_);
+    other.call_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[detail::kInlineSize];
+  Call call_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace msw

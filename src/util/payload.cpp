@@ -1,0 +1,46 @@
+#include "util/payload.hpp"
+
+#include <cassert>
+
+namespace msw {
+
+std::uint64_t Payload::cow_copies_ = 0;
+
+Payload::Payload(Bytes b) {
+  if (!b.empty()) {
+    len_ = b.size();
+    buf_ = std::make_shared<Bytes>(std::move(b));
+  }
+}
+
+void Payload::shrink(std::size_t new_len) {
+  assert(new_len <= len_ && "shrink may only reduce the logical length");
+  len_ = new_len;
+}
+
+std::span<Byte> Payload::mutable_view() {
+  if (!buf_) return {};
+  make_unique_trimmed();
+  return std::span<Byte>(buf_->data(), len_);
+}
+
+Bytes& Payload::begin_append() {
+  if (!buf_) {
+    buf_ = std::make_shared<Bytes>();
+    len_ = 0;
+    return *buf_;
+  }
+  make_unique_trimmed();
+  return *buf_;
+}
+
+void Payload::make_unique_trimmed() {
+  if (buf_.use_count() > 1) {
+    ++cow_copies_;
+    buf_ = std::make_shared<Bytes>(buf_->data(), buf_->data() + len_);
+  } else if (buf_->size() != len_) {
+    buf_->resize(len_);
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,113 @@
+// Refcounted copy-on-write byte buffer — the currency of the data plane.
+//
+// A Payload is a logical byte string [0, size()) backed by a shared,
+// immutable-while-shared buffer. Copying a Payload shares the buffer (a
+// refcount bump), so multicast fan-out, retransmission buffers and
+// peer-assist stores all alias one allocation instead of deep-copying.
+// Two operations stay cheap even on shared buffers:
+//
+//   - shrink(): popping a tail header only moves this view's logical
+//     length; other holders of the buffer are untouched. The receive path
+//     of an N-way multicast therefore strips headers with zero copies.
+//   - view(): a read-only span over the logical bytes.
+//
+// Mutation (appending a header, in-place encryption) requires unique
+// ownership: if the buffer is shared, the logical bytes are first cloned
+// into a fresh buffer (copy-on-write, counted in cow_copies() so tests
+// and benches can assert copy behaviour). See DESIGN.md, "Performance
+// architecture", for the ownership rules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace msw {
+
+class Payload {
+ public:
+  Payload() noexcept = default;
+
+  /// Wrap (by move) a flat buffer. Implicit: Bytes call sites keep working.
+  Payload(Bytes b);  // NOLINT: implicit by design
+
+  /// Copying shares the underlying buffer; no bytes move.
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  Payload(Payload&&) noexcept = default;
+  Payload& operator=(Payload&&) noexcept = default;
+
+  /// Read-only view of the logical bytes.
+  std::span<const Byte> view() const {
+    return buf_ ? std::span<const Byte>(buf_->data(), len_) : std::span<const Byte>();
+  }
+  operator std::span<const Byte>() const { return view(); }  // NOLINT: implicit by design
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  /// Drop this view's reference to the buffer.
+  void clear() {
+    buf_.reset();
+    len_ = 0;
+  }
+  const Byte* data() const { return buf_ ? buf_->data() : nullptr; }
+
+  /// Materialize a flat copy of the logical bytes.
+  Bytes bytes() const {
+    const auto v = view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Number of Payloads sharing this buffer (0 for an empty payload).
+  /// Used by tests to assert multicast fan-out aliases one body.
+  long use_count() const { return buf_ ? buf_.use_count() : 0; }
+
+  /// Zero-copy logical truncation to the first `new_len` bytes. This is
+  /// how pop_header discards a consumed tail header without touching the
+  /// (possibly shared) buffer.
+  void shrink(std::size_t new_len);
+
+  /// Writable fixed-size access to the logical bytes (in-place transforms
+  /// such as the confidentiality layer's stream cipher). Clones first if
+  /// the buffer is shared.
+  std::span<Byte> mutable_view();
+
+  /// Append protocol used by Message::push_header: begin_append() returns
+  /// a uniquely-owned vector trimmed to the logical length, ready to grow;
+  /// end_append() re-syncs the logical length after the caller appended.
+  /// No other mutation of the returned vector is permitted.
+  Bytes& begin_append();
+  void end_append() { len_ = buf_->size(); }
+
+  /// Global count of copy-on-write clones since process start. The data
+  /// plane's copy budget is observable: tests pin it down ("push_header
+  /// after sharing costs exactly one copy"), benches report it.
+  static std::uint64_t cow_copies() { return cow_copies_; }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    const auto va = a.view();
+    const auto vb = b.view();
+    return std::equal(va.begin(), va.end(), vb.begin(), vb.end()) && va.size() == vb.size();
+  }
+  friend bool operator==(const Payload& a, const Bytes& b) {
+    const auto v = a.view();
+    return v.size() == b.size() && std::equal(v.begin(), v.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const Payload& b) { return b == a; }
+
+ private:
+  /// Ensure buf_ is uniquely owned and exactly len_ long.
+  void make_unique_trimmed();
+
+  // The sim is single-threaded by construction (one Scheduler serializes
+  // everything), so a plain counter suffices.
+  static std::uint64_t cow_copies_;
+
+  std::shared_ptr<Bytes> buf_;  // null <=> empty payload
+  std::size_t len_ = 0;         // logical length; invariant len_ <= buf_->size()
+};
+
+}  // namespace msw

@@ -83,9 +83,9 @@ TEST(LayerChain, HeadersNestCorrectlyAcrossGroup) {
 
   int delivered = 0;
   Bytes got;
-  group.stack(2).set_on_deliver([&](const MsgId&, const Bytes& body) {
+  group.stack(2).set_on_deliver([&](const MsgId&, std::span<const Byte> body) {
     ++delivered;
-    got = body;
+    got.assign(body.begin(), body.end());
   });
   group.send(0, to_bytes("hello"));
   f.sim.run();
@@ -101,7 +101,7 @@ TEST(LayerChain, EmptyChainStillDelivers) {
               });
   group.start();
   int delivered = 0;
-  group.stack(1).set_on_deliver([&](const MsgId&, const Bytes&) { ++delivered; });
+  group.stack(1).set_on_deliver([&](const MsgId&, std::span<const Byte>) { ++delivered; });
   group.send(0, to_bytes("x"));
   f.sim.run();
   EXPECT_EQ(delivered, 1);
@@ -135,7 +135,7 @@ TEST(LayerChain, SelfDeliveryLoopsBack) {
               });
   group.start();
   int self_delivered = 0;
-  group.stack(0).set_on_deliver([&](const MsgId& id, const Bytes&) {
+  group.stack(0).set_on_deliver([&](const MsgId& id, std::span<const Byte>) {
     EXPECT_EQ(id.sender, group.node(0).v);
     ++self_delivered;
   });

@@ -1,6 +1,9 @@
-// Message header push/pop discipline and the application header.
+// Message header push/pop discipline, the application header, and the
+// copy-on-write payload-sharing contract of the zero-copy message path.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
 #include "stack/message.hpp"
 
 namespace msw {
@@ -60,7 +63,7 @@ TEST(Message, PopWithCorruptLengthThrows) {
   Message m = Message::group({});
   m.push_header([](Writer& w) { w.u32(7); });
   // Corrupt the trailing length word to exceed the buffer.
-  m.data.back() = 0xff;
+  m.data.mutable_view().back() = 0xff;
   EXPECT_THROW(m.pop_header([](Reader&) {}), DecodeError);
 }
 
@@ -95,6 +98,114 @@ TEST(AppHeader, ViewKindRoundTrip) {
   const AppHeader h = AppHeader::pop(m);
   EXPECT_EQ(h.kind, AppHeader::Kind::kView);
   EXPECT_EQ(h.seq, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Payload sharing: the zero-copy contract of the data plane.
+// ---------------------------------------------------------------------------
+
+TEST(PayloadSharing, CopyAliasesOneBuffer) {
+  Payload a{to_bytes("shared-bytes")};
+  EXPECT_EQ(a.use_count(), 1);
+  Payload b = a;
+  Payload c = b;
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(a.data(), c.data()) << "copies must alias, not duplicate";
+}
+
+TEST(PayloadSharing, MulticastFanOutAliasesOneBody) {
+  // An N-destination multicast must deliver N packets that share one
+  // buffer: the fan-out loop may bump refcounts but never copy bytes.
+  Simulation sim(1);
+  NetConfig cfg;
+  cfg.jitter = 0;
+  cfg.loss = 0.0;
+  Network net(sim.scheduler(), sim.fork_rng(), cfg);
+  constexpr int kNodes = 8;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(net.add_node());
+  std::vector<Payload> received;
+  for (NodeId n : nodes) {
+    net.set_handler(n, [&](Packet p) { received.push_back(std::move(p.data)); });
+  }
+  const std::uint64_t cows_before = Payload::cow_copies();
+  net.multicast(nodes[0], nodes, to_bytes("one allocation, many receivers"));
+  sim.run();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kNodes));
+  // All receivers hold the same buffer: use_count counts every alias.
+  EXPECT_GE(received[0].use_count(), kNodes);
+  for (const Payload& p : received) {
+    EXPECT_EQ(p.data(), received[0].data()) << "fan-out copied instead of aliasing";
+  }
+  EXPECT_EQ(Payload::cow_copies(), cows_before) << "fan-out triggered a copy";
+}
+
+TEST(PayloadSharing, ReceivePathPopNeverMutatesSharedBody) {
+  // Build a wire-form message, share its buffer across two "receivers",
+  // and pop the header at one of them. The other's bytes must be
+  // untouched and no copy may occur: popping only shrinks the view.
+  Message wire = Message::group(to_bytes("payload"));
+  wire.push_header([](Writer& w) { w.u32(0xdeadbeef); });
+
+  Message rx1 = Message::group(wire.data);  // shares
+  Message rx2 = Message::group(wire.data);  // shares
+  ASSERT_EQ(wire.data.use_count(), 3);
+  const Bytes rx2_before = rx2.data.bytes();
+
+  const std::uint64_t cows_before = Payload::cow_copies();
+  std::uint32_t hdr = 0;
+  rx1.pop_header([&](Reader& r) { hdr = r.u32(); });
+  EXPECT_EQ(hdr, 0xdeadbeefu);
+  EXPECT_EQ(rx1.data, to_bytes("payload"));
+
+  EXPECT_EQ(Payload::cow_copies(), cows_before) << "pop_header copied a shared body";
+  EXPECT_EQ(wire.data.use_count(), 3) << "pop_header released or duplicated the buffer";
+  EXPECT_EQ(rx2.data.bytes(), rx2_before) << "pop_header mutated a shared body";
+  // And rx2 can still pop its own header from the same shared buffer.
+  rx2.pop_header([&](Reader& r) { EXPECT_EQ(r.u32(), 0xdeadbeefu); });
+  EXPECT_EQ(rx2.data, to_bytes("payload"));
+}
+
+TEST(PayloadSharing, PushAfterSharingCopiesExactlyOnce) {
+  Message m = Message::group(to_bytes("body"));
+  Payload retained = m.data;  // e.g. a retransmission buffer holding a ref
+  ASSERT_EQ(m.data.use_count(), 2);
+
+  const std::uint64_t cows_before = Payload::cow_copies();
+  m.push_header([](Writer& w) { w.u8(1); });
+  EXPECT_EQ(Payload::cow_copies(), cows_before + 1)
+      << "push_header on a shared buffer must copy-on-write exactly once";
+  EXPECT_EQ(retained, to_bytes("body")) << "the shared holder saw the mutation";
+  EXPECT_EQ(retained.use_count(), 1) << "the writer still aliases the retained buffer";
+
+  // Once unique again, further pushes stay in place: no more copies.
+  m.push_header([](Writer& w) { w.u8(2); });
+  m.push_header([](Writer& w) { w.u8(3); });
+  EXPECT_EQ(Payload::cow_copies(), cows_before + 1);
+}
+
+TEST(PayloadSharing, MutableViewCopiesSharedBufferOnly) {
+  Payload a{to_bytes("abc")};
+  const std::uint64_t cows_before = Payload::cow_copies();
+  a.mutable_view()[0] = 'x';  // unique: in place
+  EXPECT_EQ(Payload::cow_copies(), cows_before);
+  Payload b = a;
+  b.mutable_view()[0] = 'y';  // shared: copy-on-write
+  EXPECT_EQ(Payload::cow_copies(), cows_before + 1);
+  EXPECT_EQ(a, to_bytes("xbc"));
+  EXPECT_EQ(b, to_bytes("ybc"));
+}
+
+TEST(PayloadSharing, PushAfterPopDiscardsPoppedTail) {
+  // A pop followed by a push must not resurrect the popped header bytes.
+  Message m = Message::group(to_bytes("data"));
+  m.push_header([](Writer& w) { w.u8(0xaa); });
+  m.pop_header([](Reader& r) { r.u8(); });
+  m.push_header([](Writer& w) { w.u8(0xbb); });
+  std::uint8_t got = 0;
+  m.pop_header([&](Reader& r) { got = r.u8(); });
+  EXPECT_EQ(got, 0xbb);
+  EXPECT_EQ(m.data, to_bytes("data"));
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ TEST_F(MultiplexTest, DefaultChannelIsTransparent) {
 TEST_F(MultiplexTest, SideChannelRoutesToHandler) {
   GroupHarness h(2, mux_stack());
   Bytes got;
-  g_mux[1]->set_channel_handler(5, [&](Message m) { got = m.data; });
+  g_mux[1]->set_channel_handler(5, [&](Message m) { got = m.data.bytes(); });
   Message side = Message::group(to_bytes("side-data"));
   g_mux[0]->send_on(5, std::move(side));
   h.sim.run_for(kSecond);

@@ -49,7 +49,7 @@ TEST(Network, PayloadIntact) {
   const NodeId a = f.net.add_node();
   const NodeId b = f.net.add_node();
   Bytes got;
-  f.net.set_handler(b, [&](Packet p) { got = p.data; });
+  f.net.set_handler(b, [&](Packet p) { got = p.data.bytes(); });
   f.net.send(a, b, to_bytes("payload-123"));
   f.sim.run();
   EXPECT_EQ(got, to_bytes("payload-123"));

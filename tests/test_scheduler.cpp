@@ -1,6 +1,8 @@
 // Discrete-event scheduler: ordering, determinism, cancellation, clocks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -115,6 +117,125 @@ TEST(Scheduler, ExecutedCounter) {
   for (int i = 0; i < 7; ++i) s.at(i, [] {});
   s.run();
   EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, CancelAfterExecutionIsNoop) {
+  // An EventId whose slot has been recycled by a later event must not
+  // cancel the new occupant: the generation check protects reused slots.
+  Scheduler s;
+  const EventId first = s.at(1, [] {});
+  s.run();
+  bool fired = false;
+  s.at(2, [&] { fired = true; });  // reuses the freed slot
+  s.cancel(first);                 // stale id: generation mismatch
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, StressInterleavedCancelAndSchedule) {
+  // 100k events in randomized order with a deterministic LCG, interleaving
+  // at()/cancel()/run_bounded() and validating execution order, pending()
+  // and executed() against a reference model at every phase boundary.
+  Scheduler s;
+  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+
+  constexpr int kEvents = 100'000;
+  std::vector<Time> fired_times;  // every handler logs its time here
+  fired_times.reserve(kEvents);
+  std::vector<bool> done(kEvents, false);
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  std::vector<Time> times;
+  times.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    const Time t = static_cast<Time>(next() % 1'000'000);
+    times.push_back(t);
+    ids.push_back(s.at(t, [&fired_times, &done, t, i] {
+      fired_times.push_back(t);
+      done[i] = true;
+    }));
+  }
+  EXPECT_EQ(s.pending(), static_cast<std::size_t>(kEvents));
+
+  // Cancel a pseudo-random third of them; every id is still live, so each
+  // cancellation must take effect exactly once (double-cancel is a no-op).
+  std::vector<bool> cancelled(kEvents, false);
+  std::size_t n_cancelled = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    if (next() % 3 == 0) {
+      cancelled[i] = true;
+      ++n_cancelled;
+      s.cancel(ids[i]);
+      s.cancel(ids[i]);  // double cancel must stay a no-op
+    }
+  }
+  EXPECT_EQ(s.pending(), kEvents - n_cancelled);
+
+  // Drain in bounded chunks, interleaving fresh schedules and more probe
+  // cancels. A probe that hits an already-executed or already-cancelled id
+  // must be a no-op (the generation check rejects it); one that hits a
+  // still-pending event is a real cancellation, which the model tracks.
+  std::size_t extra = 0;
+  while (s.pending() > 0) {
+    const std::size_t ran = s.run_bounded(1000);
+    EXPECT_LE(ran, 1000u);
+    const int probe = static_cast<int>(next() % kEvents);
+    s.cancel(ids[probe]);
+    if (!cancelled[probe] && !done[probe]) {
+      cancelled[probe] = true;
+      ++n_cancelled;
+    }
+    if (extra < 50 && next() % 2 == 0) {
+      // New work while draining: must land in-order with the rest.
+      const Time t = s.now() + static_cast<Time>(next() % 1000);
+      s.at(t, [&fired_times, t] { fired_times.push_back(t); });
+      ++extra;
+    }
+  }
+
+  const std::size_t live = kEvents - n_cancelled;
+  EXPECT_EQ(fired_times.size(), live + extra);
+  EXPECT_EQ(s.executed(), live + extra);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(std::is_sorted(fired_times.begin(), fired_times.end()))
+      << "events executed out of time order";
+
+  // Every surviving event fired and every cancelled one did not.
+  std::multiset<Time> fired_set(fired_times.begin(), fired_times.end());
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(done[i], !cancelled[i]) << "event " << i;
+    if (!cancelled[i]) {
+      const auto it = fired_set.find(times[i]);
+      ASSERT_NE(it, fired_set.end()) << "scheduled event never fired";
+      fired_set.erase(it);
+    }
+  }
+  EXPECT_EQ(fired_set.size(), extra);
+}
+
+TEST(Scheduler, StressTieOrderingUnderSlotReuse) {
+  // Same-time events must run in insertion order even when their slots are
+  // recycled from cancelled predecessors.
+  Scheduler s;
+  constexpr int kRounds = 1000;
+  std::vector<int> order;
+  order.reserve(kRounds);
+  std::vector<EventId> doomed;
+  for (int i = 0; i < kRounds; ++i) doomed.push_back(s.at(5, [] {}));
+  for (const EventId id : doomed) s.cancel(id);
+  for (int i = 0; i < kRounds; ++i) {
+    s.at(5, [&order, i] { order.push_back(i); });  // reuse freed slots
+  }
+  s.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kRounds));
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_EQ(order[i], i) << "tie broken out of insertion order";
+  }
+  EXPECT_EQ(s.executed(), static_cast<std::size_t>(kRounds));
 }
 
 TEST(Simulation, ForkedRngsAreIndependent) {

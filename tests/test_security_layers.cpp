@@ -36,10 +36,10 @@ class TapLayer : public Layer {
  public:
   std::string_view name() const override { return "tap"; }
   void down(Message m) override {
-    frames.push_back(m.data);
+    frames.push_back(m.data);  // shares the wire buffer
     ctx().send_down(std::move(m));
   }
-  std::vector<Bytes> frames;
+  std::vector<Payload> frames;
 };
 
 class SecurityTest : public ::testing::Test {
@@ -117,7 +117,7 @@ TEST_F(SecurityTest, CorruptedPayloadRejected) {
   h2.sim.run_for(100 * kMillisecond);
   ASSERT_NE(tap, nullptr);
   ASSERT_FALSE(tap->frames.empty());
-  Bytes corrupted = tap->frames.front();
+  Bytes corrupted = tap->frames.front().bytes();
   corrupted[0] ^= 0x01;
   const NodeId attacker = h2.net.add_node();
   const std::size_t before = h2.delivered_data(1).size();
@@ -147,9 +147,9 @@ TEST_F(SecurityTest, EavesdropperSeesOnlyCiphertext) {
   sb.start();
 
   Bytes spied;
-  net.set_handler(spy, [&](Packet p) { spied = p.data; });
+  net.set_handler(spy, [&](Packet p) { spied = p.data.bytes(); });
   Bytes plain_delivered;
-  sb.set_on_deliver([&](const MsgId&, const Bytes& body) { plain_delivered = body; });
+  sb.set_on_deliver([&](const MsgId&, std::span<const Byte> body) { plain_delivered.assign(body.begin(), body.end()); });
 
   const std::string secret = "the missile launch code is 0000";
   sa.send(to_bytes(secret));
@@ -178,9 +178,9 @@ TEST_F(SecurityTest, WrongKeyMemberCannotDecode) {
   sb.start();
   Bytes intruder_got;
   bool intruder_delivered = false;
-  sb.set_on_deliver([&](const MsgId&, const Bytes& body) {
+  sb.set_on_deliver([&](const MsgId&, std::span<const Byte> body) {
     intruder_delivered = true;
-    intruder_got = body;
+    intruder_got.assign(body.begin(), body.end());
   });
   sa.send(to_bytes("secret payload"));
   sim.run();

@@ -102,7 +102,7 @@ TEST_F(SequencerInternals, OrderingCostSerializesAtSequencer) {
   h.group.send(1, to_bytes("first"));
   h.group.send(2, to_bytes("second"));
   std::vector<Time> arrivals;
-  h.group.stack(1).set_on_deliver([&](const MsgId&, const Bytes&) {
+  h.group.stack(1).set_on_deliver([&](const MsgId&, std::span<const Byte>) {
     arrivals.push_back(h.sim.now());
   });
   h.sim.run_for(2 * kSecond);

@@ -97,7 +97,7 @@ TEST_F(TokenInternals, LatencyScalesWithRingSize) {
     Summary lat;
     Time sent_at = 0;
     h.group.stack(1).set_on_deliver(
-        [&](const MsgId&, const Bytes&) { lat.add(to_ms(h.sim.now() - sent_at)); });
+        [&](const MsgId&, std::span<const Byte>) { lat.add(to_ms(h.sim.now() - sent_at)); });
     for (int i = 0; i < 20; ++i) {
       h.sim.scheduler().at(i * 100 * kMillisecond, [&h, &sent_at] {
         sent_at = h.sim.now();

@@ -144,7 +144,7 @@ TEST_F(VsyncTest, ViewBodyEncodesMembers) {
 TEST_F(VsyncTest, AppSeesViewNotificationBody) {
   GroupHarness h(2, vsync_stack());
   std::vector<std::uint32_t> seen;
-  h.group.stack(1).set_on_deliver([&](const MsgId& id, const Bytes& body) {
+  h.group.stack(1).set_on_deliver([&](const MsgId& id, std::span<const Byte> body) {
     if (id.kind == MsgId::Kind::kView) seen = decode_view_body(body);
   });
   h.sim.run_for(50 * kMillisecond);
