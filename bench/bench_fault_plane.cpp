@@ -1,0 +1,119 @@
+// E-fuzz — fault-plane overhead and fuzzer throughput.
+//
+// The fault-injection plane sits on the network's per-copy hot path, so
+// its cost must be negligible when idle and bounded when active. Each row
+// runs the same seeded hybrid-stack workload (4 members, 40 multicasts,
+// one mid-run switch) under a different fault schedule and reports the
+// wall-clock cost per simulated run next to what the plane actually did
+// to the traffic. The last section measures end-to-end fuzzer throughput
+// (harness/fuzz.hpp), the number EXPERIMENTS.md quotes for campaign
+// sizing.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "calibration.hpp"
+#include "harness/fuzz.hpp"
+#include "net/fault.hpp"
+#include "stack/group.hpp"
+#include "switch/hybrid.hpp"
+
+namespace msw::bench {
+namespace {
+
+constexpr int kRepeats = 30;
+
+struct PlaneRow {
+  const char* label;
+  const char* schedule;  // nullptr: no plane installed at all
+};
+
+struct PlaneResult {
+  double wall_ms_per_run = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dropped_fault = 0;
+};
+
+PlaneResult measure(const PlaneRow& row) {
+  PlaneResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    Simulation sim(kSeed + rep);
+    Network net(sim.scheduler(), sim.fork_rng(), era_network());
+    Group group(sim, net, 4, make_hybrid_total_order_factory());
+
+    std::unique_ptr<FaultPlane> plane;
+    if (row.schedule) {
+      plane = std::make_unique<FaultPlane>(net, sim.fork_rng(),
+                                           *FaultSchedule::parse(row.schedule));
+      plane->install();
+    }
+    group.start();
+    for (int k = 0; k < 40; ++k) {
+      sim.scheduler().at((25 + k * 25) * kMillisecond,
+                         [&group, k] { group.send(k % 4, Bytes(64, 'f')); });
+    }
+    sim.scheduler().at(350 * kMillisecond,
+                       [&group] { switch_layer_of(group.stack(1)).request_switch(); });
+    sim.run_for(3 * kSecond);
+
+    res.delivered += group.total_delivered();
+    res.duplicated += net.stats().copies_duplicated;
+    res.dropped_fault += net.stats().copies_dropped_fault + net.stats().copies_dropped_link +
+                         net.stats().copies_dropped_node;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  res.wall_ms_per_run = wall_ms / kRepeats;
+  res.delivered /= kRepeats;
+  res.duplicated /= kRepeats;
+  res.dropped_fault /= kRepeats;
+  return res;
+}
+
+}  // namespace
+}  // namespace msw::bench
+
+int main() {
+  using namespace msw::bench;
+
+  title("E-fuzz: fault-plane overhead (4 members, 40 multicasts, 1 switch)");
+  const PlaneRow rows[] = {
+      {"no plane", nullptr},
+      {"hook armed, empty schedule", "none"},
+      {"dup+reorder knobs", "dup=0.05@40000;reorder=0.1@20000"},
+      {"cut+partition+jitter",
+       "linkdown@200000:0-2;linkup@450000:0-2;part@600000:x2;heal@800000:x2;"
+       "jitter@300000:150000:5000"},
+      {"everything + crash",
+       "dup=0.05@40000;reorder=0.1@20000;linkdown@200000:0-2;linkup@450000:0-2;"
+       "part@600000:x2;heal@800000:x2;jitter@300000:150000:5000;"
+       "crash@900000:3;restart@1100000:3"},
+  };
+  std::printf("  %-28s %12s %12s %12s %12s\n", "schedule", "ms/run", "delivered",
+              "dup copies", "drops");
+  rule();
+  for (const PlaneRow& row : rows) {
+    const PlaneResult r = measure(row);
+    std::printf("  %-28s %12.2f %12llu %12llu %12llu\n", row.label, r.wall_ms_per_run,
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.duplicated),
+                static_cast<unsigned long long>(r.dropped_fault));
+  }
+
+  title("fuzzer throughput (run_fuzz, default config)");
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const msw::FuzzSummary s = msw::run_fuzz(1, 100, msw::FuzzConfig{});
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("  100 iterations in %.2f s -> %.1f iters/s, %zu failures, "
+                "corpus_digest=%016llx\n",
+                secs, 100.0 / secs, s.failures.size(),
+                static_cast<unsigned long long>(s.corpus_digest));
+    note("a failure count above zero here means a real regression: the clean");
+    note("stack must pass the oracle under every generated schedule.");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Randomized switch fuzzer with a trace-property oracle.
+//
+// Each iteration derives everything from one 64-bit seed: a random group
+// size, network conditions, workload, switch-request timings, and a
+// FaultSchedule (net/fault.hpp). It runs the hybrid switching stack to
+// quiescence, then checks the captured trace against the executable
+// oracle:
+//
+//   - no spurious deliveries (every Deliver has a matching Send),
+//   - no duplicate deliveries (at-most-once per process),
+//   - SP's old-before-new guarantee (per-process delivery epochs are
+//     non-decreasing, and every message is delivered in one epoch
+//     globally — via SwitchLayer's epoch tap),
+//   - agreement + Total Order, No Replay, and Reliability (the Table 1
+//     properties the active protocols claim),
+//   - convergence (all members on one epoch, buffers drained).
+//
+// On failure the fault schedule is shrunk by delta-debugging over fault
+// atoms (an outage and its recovery shrink together, so a reduced schedule
+// never fails merely because a partition was left unhealed), producing a
+// one-line reproducer: seed + shrunk schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+
+namespace msw {
+
+struct FuzzConfig {
+  std::size_t min_members = 2;
+  std::size_t max_members = 8;
+  /// Include node crash/restart faults in generated schedules.
+  bool enable_crash = false;
+  /// DELIBERATE SP BUG (oracle self-test): members ignore sender 0's count
+  /// in the drain check, so they can switch before draining its messages.
+  bool inject_flush_bug = false;
+  /// Maximum simulation re-runs the shrinker may spend per failure.
+  std::size_t shrink_budget = 200;
+};
+
+struct FuzzIteration {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  /// First oracle violation (empty when ok).
+  std::string reason;
+  /// trace_digest of the captured trace — the cross-run determinism
+  /// fingerprint.
+  std::uint64_t digest = 0;
+  std::size_t members = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  FaultSchedule schedule;
+  /// Per-member end state ("i: epoch=E switching=S buffered=B" lines) —
+  /// diagnostic detail for replaying reproducers.
+  std::string state;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string reason;
+  /// Shrunk schedule still reproducing the failure.
+  FaultSchedule schedule;
+  /// schedule.weight() after shrinking (events + active knobs).
+  std::size_t weight = 0;
+  /// One-line command reproducing the failure.
+  std::string repro;
+};
+
+struct FuzzSummary {
+  std::size_t iterations = 0;
+  std::vector<FuzzFailure> failures;
+  /// Hash-chain over every iteration's trace digest: equal across runs iff
+  /// the whole campaign was bit-identical.
+  std::uint64_t corpus_digest = 0;
+};
+
+/// Run one iteration. When `schedule_override` is non-null it replaces the
+/// seed-derived fault schedule (repro and shrinking); everything else still
+/// derives from `seed`.
+FuzzIteration run_fuzz_iteration(std::uint64_t seed, const FuzzConfig& cfg,
+                                 const FaultSchedule* schedule_override = nullptr);
+
+/// Shrink a failing iteration's schedule to a locally-minimal one.
+FuzzFailure shrink_failure(const FuzzIteration& failed, const FuzzConfig& cfg);
+
+/// Run `iters` iterations seeded base_seed, base_seed + 1, ...; failures
+/// are shrunk as they appear. `on_iteration` (optional) observes every
+/// iteration (e.g. progress output) and may stop the campaign early by
+/// returning false — used for wall-clock budgets.
+FuzzSummary run_fuzz(std::uint64_t base_seed, std::size_t iters, const FuzzConfig& cfg,
+                     const std::function<bool(const FuzzIteration&)>& on_iteration = {});
+
+}  // namespace msw

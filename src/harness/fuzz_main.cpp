@@ -1,0 +1,149 @@
+// fuzz_switch: standalone randomized switch fuzzer (see harness/fuzz.hpp).
+//
+//   fuzz_switch --seed 1 --iters 500            # deterministic campaign
+//   fuzz_switch --seed 42 --schedule '...'      # replay one reproducer
+//   fuzz_switch --seed 1 --iters 40 --inject-flush-bug   # oracle self-test
+//
+// Exit code 0 iff every iteration passed the oracle. Output is stable for
+// a given seed (timing lines go to stderr), so the stdout of two runs with
+// the same arguments must be byte-identical.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/fuzz.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--iters N] [--crash] [--inject-flush-bug]\n"
+               "          [--time-budget SECONDS] [--schedule STR] [--verbose]\n"
+               "  --seed N            base seed (default 1)\n"
+               "  --iters N           iterations (default 100); ignored with --schedule\n"
+               "  --crash             include node crash/restart faults\n"
+               "  --inject-flush-bug  enable the deliberate SP drain-count bug; the oracle\n"
+               "                      must then report failures (exit code flips: 0 iff caught)\n"
+               "  --time-budget S     stop early after S wall seconds (breaks digest\n"
+               "                      comparability between runs that cut off differently)\n"
+               "  --schedule STR      run a single iteration with this exact fault schedule\n"
+               "  --verbose           one line per iteration instead of failures only;\n"
+               "                      with --schedule, also dump per-member end state\n"
+               "  --log-level L       trace|debug|info|warn (stderr; default warn)\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  double time_budget = 0;
+  std::string schedule_str;
+  bool verbose = false;
+  msw::FuzzConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--iters") {
+      iters = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--crash") {
+      cfg.enable_crash = true;
+    } else if (arg == "--inject-flush-bug") {
+      cfg.inject_flush_bug = true;
+    } else if (arg == "--time-budget") {
+      time_budget = std::strtod(value(), nullptr);
+    } else if (arg == "--schedule") {
+      schedule_str = value();
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--log-level") {
+      const std::string lvl = value();
+      if (lvl == "trace") {
+        msw::Log::set_level(msw::LogLevel::kTrace);
+      } else if (lvl == "debug") {
+        msw::Log::set_level(msw::LogLevel::kDebug);
+      } else if (lvl == "info") {
+        msw::Log::set_level(msw::LogLevel::kInfo);
+      } else if (lvl == "warn") {
+        msw::Log::set_level(msw::LogLevel::kWarn);
+      } else {
+        usage(argv[0]);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  if (!schedule_str.empty()) {
+    // Replay mode: one iteration under an explicit schedule.
+    const auto schedule = msw::FaultSchedule::parse(schedule_str);
+    if (!schedule) {
+      std::fprintf(stderr, "malformed --schedule string\n");
+      return 2;
+    }
+    const msw::FuzzIteration it = msw::run_fuzz_iteration(seed, cfg, &*schedule);
+    std::printf("seed=%llu members=%zu sent=%llu delivered=%llu digest=%016llx %s\n",
+                static_cast<unsigned long long>(it.seed), it.members,
+                static_cast<unsigned long long>(it.sent),
+                static_cast<unsigned long long>(it.delivered),
+                static_cast<unsigned long long>(it.digest),
+                it.ok ? "OK" : ("FAIL: " + it.reason).c_str());
+    if (verbose) std::fputs(it.state.c_str(), stdout);
+    return it.ok ? 0 : 1;
+  }
+
+  std::size_t done = 0;
+  const msw::FuzzSummary summary =
+      msw::run_fuzz(seed, iters, cfg, [&](const msw::FuzzIteration& it) {
+        ++done;
+        if (verbose) {
+          std::printf("iter seed=%llu members=%zu sent=%llu digest=%016llx %s\n",
+                      static_cast<unsigned long long>(it.seed), it.members,
+                      static_cast<unsigned long long>(it.sent),
+                      static_cast<unsigned long long>(it.digest),
+                      it.ok ? "ok" : ("FAIL: " + it.reason).c_str());
+        }
+        if (time_budget > 0 && elapsed() > time_budget && done < iters) {
+          std::fprintf(stderr, "time budget exhausted after %zu/%zu iterations\n", done, iters);
+          return false;
+        }
+        return true;
+      });
+
+  for (const msw::FuzzFailure& f : summary.failures) {
+    std::printf("FAILURE seed=%llu weight=%zu reason=%s\n",
+                static_cast<unsigned long long>(f.seed), f.weight, f.reason.c_str());
+    std::printf("  repro: %s\n", f.repro.c_str());
+  }
+  std::printf("fuzz_switch: %zu iterations, %zu failures, corpus_digest=%016llx\n",
+              summary.iterations, summary.failures.size(),
+              static_cast<unsigned long long>(summary.corpus_digest));
+  std::fprintf(stderr, "elapsed %.1f s (%.1f iters/s)\n", elapsed(),
+               summary.iterations / std::max(elapsed(), 1e-9));
+
+  if (cfg.inject_flush_bug) {
+    // Oracle self-test: success means the deliberate bug WAS caught.
+    const bool caught = !summary.failures.empty();
+    std::printf("oracle self-test: injected FLUSH-count bug %s\n",
+                caught ? "caught" : "NOT caught");
+    return caught ? 0 : 1;
+  }
+  return summary.failures.empty() ? 0 : 1;
+}

@@ -10,10 +10,27 @@ std::uint64_t link_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from.v) << 32) | to.v;
 }
 
+// splitmix64 finalizer: spreads the structured link key over the seed space
+// so adjacent links get unrelated streams.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 Network::Network(Scheduler& sched, Rng rng, NetConfig cfg)
-    : sched_(sched), rng_(rng), cfg_(cfg) {}
+    : sched_(sched), rng_(rng), link_seed_base_(rng_.next()), cfg_(cfg) {}
+
+Rng& Network::link_rng(NodeId from, NodeId to) {
+  const std::uint64_t key = link_key(from, to);
+  auto it = link_rngs_.find(key);
+  if (it == link_rngs_.end()) {
+    it = link_rngs_.emplace(key, Rng(link_seed_base_ ^ mix64(key))).first;
+  }
+  return it->second;
+}
 
 NodeId Network::add_node() {
   nodes_.push_back(Node{});
@@ -34,7 +51,10 @@ Duration Network::serialization_delay(std::size_t bytes) const {
 Duration Network::propagation(NodeId from, NodeId to) {
   if (from == to) return cfg_.loopback_latency;
   Duration d = cfg_.base_latency;
-  if (cfg_.jitter > 0) d += static_cast<Duration>(rng_.below(static_cast<std::uint64_t>(cfg_.jitter) + 1));
+  if (cfg_.jitter > 0) {
+    d += static_cast<Duration>(
+        link_rng(from, to).below(static_cast<std::uint64_t>(cfg_.jitter) + 1));
+  }
   return d;
 }
 
@@ -60,13 +80,16 @@ void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
       ++stats_.copies_dropped_node;
       return;
     }
-    // Receive-side CPU cost; the node works packets off serially.
+    // Receive-side CPU cost; the node works packets off serially. A crash
+    // between arrival and the end of processing loses the queued packet:
+    // the incarnation recorded here no longer matches.
     const Time start = std::max(sched_.now(), n.cpu_free_at);
     const Time done = start + cfg_.cpu_recv;
     n.cpu_free_at = done;
-    sched_.at(done, [this, dest, p = std::move(p)]() mutable {
+    const std::uint64_t inc = n.incarnation;
+    sched_.at(done, [this, dest, inc, p = std::move(p)]() mutable {
       Node& node = nodes_[dest.v];
-      if (!node.up || !node.handler) {
+      if (!node.up || node.incarnation != inc || !node.handler) {
         ++stats_.copies_dropped_node;
         return;
       }
@@ -74,6 +97,31 @@ void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
       node.handler(std::move(p));
     });
   });
+}
+
+bool Network::route_copy(NodeId from, NodeId dest, const Payload& data, Time on_wire) {
+  if (!link_up(from, dest)) {
+    ++stats_.copies_dropped_link;
+    return false;
+  }
+  const bool loopback = from == dest;
+  if (!loopback && cfg_.loss > 0 && link_rng(from, dest).chance(cfg_.loss)) {
+    ++stats_.copies_dropped_loss;
+    return false;
+  }
+  FaultInjector::CopyPlan plan;
+  if (injector_ && !loopback) plan = injector_->on_copy(from, dest, sched_.now());
+  if (plan.drop) {
+    ++stats_.copies_dropped_fault;
+    return false;
+  }
+  const Time arrive = on_wire + propagation(from, dest) + plan.extra_delay;
+  deliver_copy(dest, Packet{from, data}, arrive);
+  if (plan.duplicate) {
+    ++stats_.copies_duplicated;
+    deliver_copy(dest, Packet{from, data}, arrive + plan.duplicate_delay);
+  }
+  return true;
 }
 
 void Network::send(NodeId from, NodeId to, Payload data) {
@@ -84,15 +132,7 @@ void Network::send(NodeId from, NodeId to, Payload data) {
   }
   ++stats_.unicasts_sent;
   const Time on_wire = transmit_time(from, data.size());
-  if (!link_up(from, to)) {
-    ++stats_.copies_dropped_link;
-    return;
-  }
-  if (from != to && rng_.chance(cfg_.loss)) {
-    ++stats_.copies_dropped_loss;
-    return;
-  }
-  deliver_copy(to, Packet{from, std::move(data)}, on_wire + propagation(from, to));
+  route_copy(from, to, data, on_wire);
 }
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& to, Payload data) {
@@ -108,15 +148,7 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to, Payload data
   const Time on_wire = transmit_time(from, data.size());
   for (NodeId dest : to) {
     assert(dest.v < nodes_.size());
-    if (!link_up(from, dest)) {
-      ++stats_.copies_dropped_link;
-      continue;
-    }
-    if (from != dest && rng_.chance(cfg_.loss)) {
-      ++stats_.copies_dropped_loss;
-      continue;
-    }
-    deliver_copy(dest, Packet{from, data}, on_wire + propagation(from, dest));
+    route_copy(from, dest, data, on_wire);
   }
 }
 
@@ -144,6 +176,19 @@ void Network::set_node_up(NodeId node, bool up) {
 bool Network::node_up(NodeId node) const {
   assert(node.v < nodes_.size());
   return nodes_[node.v].up;
+}
+
+void Network::crash_node(NodeId node) {
+  assert(node.v < nodes_.size());
+  Node& n = nodes_[node.v];
+  n.up = false;
+  ++n.incarnation;  // invalidates every packet queued behind cpu_recv
+  n.cpu_free_at = 0;
+}
+
+void Network::restart_node(NodeId node) {
+  assert(node.v < nodes_.size());
+  nodes_[node.v].up = true;
 }
 
 void Network::consume_cpu(NodeId node, Duration d) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -62,6 +63,28 @@ struct NetConfig {
 /// dispatch is one indirect call.
 using PacketHandler = UniqueFunction<void(Packet)>;
 
+/// Per-copy perturbation hook consulted for every unicast/multicast copy
+/// that survived the link and loss checks (loopback copies are exempt).
+/// The fault plane (net/fault.hpp) implements this; the Network stays free
+/// of fault policy and only applies the returned plan.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  struct CopyPlan {
+    /// Drop the copy outright (burst loss beyond the base `loss` rate).
+    bool drop = false;
+    /// Duplicate the copy: a second identical Packet is delivered.
+    bool duplicate = false;
+    /// Added to the copy's arrival time (bounded reordering, jitter burst).
+    Duration extra_delay = 0;
+    /// Added on top of `extra_delay` for the duplicate's arrival.
+    Duration duplicate_delay = 0;
+  };
+
+  virtual CopyPlan on_copy(NodeId from, NodeId to, Time now) = 0;
+};
+
 class Network {
  public:
   Network(Scheduler& sched, Rng rng, NetConfig cfg);
@@ -89,9 +112,21 @@ class Network {
   void set_link_up(NodeId from, NodeId to, bool up);
   bool link_up(NodeId from, NodeId to) const;
 
-  /// Crash a node: it stops receiving and its sends are discarded.
+  /// Pause/resume a node: while down it stops receiving and its sends are
+  /// discarded; packets already queued behind its CPU survive a resume.
   void set_node_up(NodeId node, bool up);
   bool node_up(NodeId node) const;
+
+  /// Crash a node: down as with set_node_up(false), plus its receive queue
+  /// is lost — packets that had arrived but not yet cleared cpu_recv are
+  /// discarded even if they would finish processing after a restart.
+  void crash_node(NodeId node);
+  /// Bring a crashed (or paused) node back. Protocol state above the
+  /// network survives; only in-flight receive work was lost.
+  void restart_node(NodeId node);
+
+  /// Install (or clear, with nullptr) the per-copy fault hook. Not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Occupy the node's CPU for `d` starting now (protocol processing such
   /// as the sequencer's ordering work). Subsequent sends and receive
@@ -109,6 +144,9 @@ class Network {
     PacketHandler handler;
     Time cpu_free_at = 0;
     bool up = true;
+    /// Bumped by crash_node; receive work scheduled under an older
+    /// incarnation is dropped when it comes due.
+    std::uint64_t incarnation = 0;
   };
 
   /// Reserve the sender's CPU + the shared wire; returns the time the
@@ -118,17 +156,31 @@ class Network {
   /// Schedule delivery of a copy at `dest` arriving at `arrive`.
   void deliver_copy(NodeId dest, Packet packet, Time arrive);
 
+  /// Per-copy checks + fault plan for one destination; returns false when
+  /// the copy dies (link down, loss, injected drop). On success schedules
+  /// the copy (and a possible injected duplicate).
+  bool route_copy(NodeId from, NodeId dest, const Payload& data, Time on_wire);
+
   Duration serialization_delay(std::size_t bytes) const;
   Duration propagation(NodeId from, NodeId to);
 
+  /// Independent random stream for the (from, to) link. Derived from a
+  /// per-network base seed and the link key only, so draws on one link
+  /// (loss, jitter) never perturb another's sequence no matter in which
+  /// order nodes or traffic appear.
+  Rng& link_rng(NodeId from, NodeId to);
+
   Scheduler& sched_;
   Rng rng_;
+  std::uint64_t link_seed_base_;
   NetConfig cfg_;
   std::vector<Node> nodes_;
   Time wire_free_at_ = 0;
   NetStats stats_;
+  FaultInjector* injector_ = nullptr;
   // Sparse set of down links, keyed (from << 32 | to).
   std::vector<std::uint64_t> down_links_;
+  std::unordered_map<std::uint64_t, Rng> link_rngs_;
 };
 
 }  // namespace msw

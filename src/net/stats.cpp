@@ -9,8 +9,9 @@ namespace msw {
 std::string NetStats::summary() const {
   std::ostringstream os;
   os << "unicasts=" << unicasts_sent << " multicasts=" << multicasts_sent
-     << " delivered=" << copies_delivered << " dropped(loss/link/node)=" << copies_dropped_loss
-     << "/" << copies_dropped_link << "/" << copies_dropped_node << " bytes=" << bytes_on_wire;
+     << " delivered=" << copies_delivered << " dropped(loss/link/node/fault)=" << copies_dropped_loss
+     << "/" << copies_dropped_link << "/" << copies_dropped_node << "/" << copies_dropped_fault
+     << " duplicated=" << copies_duplicated << " bytes=" << bytes_on_wire;
   return os.str();
 }
 

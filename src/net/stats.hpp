@@ -15,6 +15,8 @@ struct NetStats {
   std::uint64_t copies_dropped_loss = 0;
   std::uint64_t copies_dropped_link = 0;
   std::uint64_t copies_dropped_node = 0;
+  std::uint64_t copies_dropped_fault = 0;  // injected drops (net/fault.hpp)
+  std::uint64_t copies_duplicated = 0;     // injected duplicates
   std::uint64_t bytes_on_wire = 0;
 
   void reset() { *this = NetStats{}; }

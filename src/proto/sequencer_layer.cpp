@@ -209,21 +209,35 @@ void SequencerLayer::retransmit_pending() {
 }
 
 void SequencerLayer::send_gap_nacks() {
-  if (next_deliver_ < highest_gseq_seen_) {
+  // The sequencer's horizon is its own assignment counter: its loopback
+  // SEQUENCED copies can be lost when the node crashes, and no other member
+  // can serve a nack on its behalf — it refills such gaps straight from
+  // local history instead (GC never collects below its own next_deliver_,
+  // so the bytes are always still there).
+  const std::uint64_t horizon = is_sequencer() ? next_gseq_ : highest_gseq_seen_;
+  if (next_deliver_ < horizon) {
     std::vector<std::uint64_t> missing;
-    for (std::uint64_t g = next_deliver_; g < highest_gseq_seen_ && missing.size() < kMaxNackBatch;
-         ++g) {
+    for (std::uint64_t g = next_deliver_; g < horizon && missing.size() < kMaxNackBatch; ++g) {
       if (reorder_.count(g) == 0) missing.push_back(g);
     }
-    if (!missing.empty() && !is_sequencer()) {
-      ++stats_.gap_nacks_sent;
-      Message m = Message::p2p(sequencer(), {});
-      m.push_header([&](Writer& w) {
-        w.u8(static_cast<std::uint8_t>(Type::kGapNack));
-        w.u32(static_cast<std::uint32_t>(missing.size()));
-        for (std::uint64_t g : missing) w.u64(g);
-      });
-      ctx().send_down(std::move(m));
+    if (!missing.empty()) {
+      if (is_sequencer()) {
+        for (std::uint64_t g : missing) {
+          auto it = history_.find(g);
+          if (it == history_.end()) continue;
+          ++stats_.history_retransmissions;
+          ctx().send_down(Message::p2p(ctx().self(), it->second));
+        }
+      } else {
+        ++stats_.gap_nacks_sent;
+        Message m = Message::p2p(sequencer(), {});
+        m.push_header([&](Writer& w) {
+          w.u8(static_cast<std::uint8_t>(Type::kGapNack));
+          w.u32(static_cast<std::uint32_t>(missing.size()));
+          for (std::uint64_t g : missing) w.u64(g);
+        });
+        ctx().send_down(std::move(m));
+      }
     }
   }
   ctx().set_timer(cfg_.nack_interval, [this] { send_gap_nacks(); });

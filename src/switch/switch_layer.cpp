@@ -28,7 +28,8 @@ SwitchLayer::SwitchLayer(std::vector<std::unique_ptr<Layer>> proto_a,
     : cfg_(cfg),
       oracle_(std::move(oracle)),
       layers_a_(std::move(proto_a)),
-      layers_b_(std::move(proto_b)) {}
+      layers_b_(std::move(proto_b)),
+      epoch_(cfg.initial_epoch) {}
 
 SwitchLayer::~SwitchLayer() = default;
 
@@ -157,6 +158,7 @@ void SwitchLayer::on_subprotocol_deliver(int protocol, Message m) {
 void SwitchLayer::deliver_counted(std::uint32_t sender, Message m) {
   ++delivered_this_epoch_[sender];
   last_seen_sender_[sender] = ctx().now();
+  if (epoch_tap_) epoch_tap_(epoch_);
   ctx().deliver_up(std::move(m));
 }
 
@@ -164,6 +166,7 @@ void SwitchLayer::maybe_complete_switch() {
   if (!prepared_ || !have_counts_) return;
   const auto& members = ctx().members();
   for (std::size_t j = 0; j < members.size(); ++j) {
+    if (members[j].v == cfg_.fault_skip_count_sender) continue;  // injected bug
     const auto it = delivered_this_epoch_.find(members[j].v);
     const std::uint64_t delivered = it == delivered_this_epoch_.end() ? 0 : it->second;
     if (delivered < counts_[j]) return;  // still draining the old protocol
@@ -334,9 +337,11 @@ void SwitchLayer::handle_token(Token t) {
     case TokenMode::kSwitch: {
       if (t.initiator == self) {
         // Third rotation: disseminate FLUSH, but only once we ourselves
-        // have completed the local switch.
+        // have completed the local switch. A member's epoch is t.epoch
+        // until it switches and t.epoch + 1 after, so the wrap-safe test
+        // for "switched" is inequality, not ordering.
         t.mode = TokenMode::kFlush;
-        if (epoch_ > t.epoch) {
+        if (epoch_ != t.epoch) {
           forward_token(std::move(t));
         } else {
           held_flush_ = std::move(t);
@@ -369,7 +374,7 @@ void SwitchLayer::handle_token(Token t) {
         forward_token(std::move(t));
         return;
       }
-      if (epoch_ > t.epoch) {
+      if (epoch_ != t.epoch) {
         forward_token(std::move(t));
       } else {
         // Still draining; forward once the local switch completes.

@@ -64,6 +64,15 @@ struct SwitchConfig {
   Duration normal_hold = 0;
   /// Window over which "active senders" is measured for the oracle.
   Duration sender_window = 200 * kMillisecond;
+  /// Starting epoch (identical at every member). Parity selects the
+  /// initially active protocol; values near UINT64_MAX exercise wraparound.
+  std::uint64_t initial_epoch = 0;
+  /// DELIBERATE FAULT INJECTION (tests only): when set to a member id, the
+  /// drain check ignores that sender's count — the member switches without
+  /// draining its old-protocol messages. The trace-property oracle must
+  /// catch the resulting old-before-new violation; see test_switch_fuzz.
+  static constexpr std::uint32_t kNoInjectedFault = 0xffffffffu;
+  std::uint32_t fault_skip_count_sender = kNoInjectedFault;
 };
 
 class SwitchLayer : public Layer {
@@ -120,6 +129,12 @@ class SwitchLayer : public Layer {
 
   /// Distinct senders delivered within cfg.sender_window (oracle signal).
   std::size_t active_senders() const;
+
+  /// Observer invoked once per application delivery with the epoch the
+  /// message travelled under (in delivery order). The fuzzer's oracle zips
+  /// this stream with the captured trace to check SP's old-before-new
+  /// guarantee; unset in production stacks.
+  void set_epoch_tap(std::function<void(std::uint64_t epoch)> tap) { epoch_tap_ = std::move(tap); }
 
  private:
   enum class TokenMode : std::uint8_t { kNormal = 0, kPrepare = 1, kSwitch = 2, kFlush = 3 };
@@ -190,6 +205,7 @@ class SwitchLayer : public Layer {
 
   // --- oracle signal -------------------------------------------------
   mutable std::map<std::uint32_t, Time> last_seen_sender_;
+  std::function<void(std::uint64_t)> epoch_tap_;
 
   Stats stats_;
 };

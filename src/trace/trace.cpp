@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "util/digest.hpp"
+
 namespace msw {
 
 std::string to_string(const MsgId& id) {
@@ -67,6 +69,23 @@ std::vector<MsgId> messages_of(const Trace& tr) {
   std::set<MsgId> s;
   for (const auto& e : tr) s.insert(e.msg);
   return {s.begin(), s.end()};
+}
+
+std::uint64_t trace_digest(const Trace& tr) {
+  Bytes buf;
+  Writer w(buf);
+  w.u64(tr.size());
+  for (const auto& e : tr) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u32(e.process);
+    w.u32(e.msg.sender);
+    w.u64(e.msg.seq);
+    w.u8(static_cast<std::uint8_t>(e.msg.kind));
+    w.u64(static_cast<std::uint64_t>(e.time));
+    w.u64(e.body.size());
+    w.bytes(e.body);
+  }
+  return fnv1a(buf);
 }
 
 std::string to_string(const Trace& tr) {

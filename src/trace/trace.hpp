@@ -82,4 +82,10 @@ std::vector<MsgId> messages_of(const Trace& tr);
 /// Human-readable one-line-per-event rendering, for counterexample output.
 std::string to_string(const Trace& tr);
 
+/// Order-sensitive 64-bit digest over every event field, timestamps
+/// included. Two runs produce the same digest iff they produced the same
+/// trace at the same simulated instants — the fingerprint the determinism
+/// tests and the fuzzer compare across runs.
+std::uint64_t trace_digest(const Trace& tr);
+
 }  // namespace msw

@@ -119,6 +119,89 @@ TEST(SwitchEdge, EpochOfNextSendTracksPrepare) {
   EXPECT_EQ(sl(h, 0).epoch_of_next_send(), 1u);
 }
 
+TEST(SwitchEdge, EpochCounterWrapsAround) {
+  // Start one step below the u64 wraparound: the switch goes MAX -> 0 and
+  // every token-mode comparison must treat "has switched" as epoch
+  // inequality, not ordering (epoch 0 is NOT "older" than epoch MAX).
+  HybridConfig cfg;
+  cfg.sp.initial_epoch = ~std::uint64_t{0};
+  GroupHarness h(3, make_hybrid_total_order_factory(cfg));
+  for (int k = 0; k < 4; ++k) h.group.send(k % 3, to_bytes("pre" + std::to_string(k)));
+  h.sim.run_for(200 * kMillisecond);
+  ASSERT_EQ(sl(h, 0).active_protocol(), 1);  // MAX is odd: token protocol
+  sl(h, 0).request_switch();
+  h.sim.run_for(3 * kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sl(h, i).epoch(), 0u) << "member " << i;
+    EXPECT_EQ(sl(h, i).active_protocol(), 0);
+    EXPECT_FALSE(sl(h, i).switching());
+  }
+  for (int k = 0; k < 4; ++k) h.group.send(k % 3, to_bytes("post" + std::to_string(k)));
+  h.sim.run_for(2 * kSecond);
+  EXPECT_EQ(h.delivered_data(0).size(), 8u);
+  testing::expect_identical_delivery(h);
+
+  // And once more across the wrap (0 -> 1) for good measure.
+  sl(h, 1).request_switch();
+  h.sim.run_for(3 * kSecond);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(sl(h, i).epoch(), 1u);
+}
+
+TEST(SwitchEdge, BufferedNewEpochReleasedInOrderAfterDrain) {
+  // Member 2 is cut off from the sequencer (link 0->2 down) and misses
+  // epoch-0 messages, so it cannot finish draining. Members 0 and 1 switch
+  // and send epoch-1 traffic on the new protocol; member 2 must buffer it,
+  // then — after the link heals and the drain completes — release it in
+  // the new protocol's order, identical at every member.
+  GroupHarness h(3, make_hybrid_total_order_factory());
+  h.sim.run_for(50 * kMillisecond);
+  h.net.set_link_up(h.group.node(0), h.group.node(2), false);
+  for (int k = 0; k < 3; ++k) h.group.send(0, to_bytes("old" + std::to_string(k)));
+  h.sim.run_for(100 * kMillisecond);
+  sl(h, 0).request_switch();
+  h.sim.run_for(300 * kMillisecond);
+  EXPECT_FALSE(sl(h, 0).switching());
+  EXPECT_TRUE(sl(h, 2).switching()) << "member 2 cannot drain while cut off";
+  for (int k = 0; k < 3; ++k) h.group.send(1, to_bytes("new" + std::to_string(k)));
+  h.sim.run_for(300 * kMillisecond);
+  EXPECT_TRUE(sl(h, 2).switching());
+  EXPECT_GE(sl(h, 2).buffered(), 3u) << "epoch-1 traffic must be buffered, not dropped";
+  h.net.set_link_up(h.group.node(0), h.group.node(2), true);
+  h.sim.run_for(3 * kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(sl(h, i).switching()) << "member " << i;
+    EXPECT_EQ(sl(h, i).epoch(), 1u);
+    EXPECT_EQ(sl(h, i).buffered(), 0u);
+  }
+  EXPECT_GE(sl(h, 2).stats().max_buffered, 3u);
+  EXPECT_EQ(h.delivered_data(2).size(), 6u);
+  testing::expect_identical_delivery(h);
+}
+
+TEST(SwitchEdge, InitiatorReRequestMidSwitchYieldsSecondSwitch) {
+  // A request on the member whose own switch is still in flight must not
+  // be lost or double-applied: it initiates exactly one more switch after
+  // the current one completes.
+  GroupHarness h(3, make_hybrid_total_order_factory());
+  h.sim.run_for(100 * kMillisecond);
+  sl(h, 0).request_switch();
+  bool requested = false;
+  for (int i = 0; i < 2000 && !requested; ++i) {
+    h.sim.run_for(kMillisecond);
+    if (sl(h, 0).switching()) {
+      sl(h, 0).request_switch();
+      requested = true;
+    }
+  }
+  ASSERT_TRUE(requested);
+  h.sim.run_for(5 * kSecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sl(h, i).epoch(), 2u) << "member " << i;
+    EXPECT_FALSE(sl(h, i).switching());
+  }
+  EXPECT_EQ(sl(h, 0).stats().switches_initiated, 2u);
+}
+
 TEST(SwitchEdge, ActiveSendersWindowDecays) {
   SwitchConfig cfg;
   cfg.sender_window = 100 * kMillisecond;

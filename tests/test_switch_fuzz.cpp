@@ -1,0 +1,144 @@
+// The randomized switch fuzzer as a test subject: campaigns are
+// deterministic, the clean stack survives the oracle, a deliberately
+// injected SP drain bug is caught and shrunk to a tiny reproducer, and
+// fault schedules round-trip through their one-line serialization.
+#include <gtest/gtest.h>
+
+#include "harness/fuzz.hpp"
+#include "util/rng.hpp"
+
+namespace msw {
+namespace {
+
+TEST(SwitchFuzz, CampaignIsDeterministic) {
+  // Same base seed => bit-identical campaign: same per-iteration trace
+  // digests, same pass/fail, same corpus digest.
+  const auto campaign = [] {
+    std::vector<std::uint64_t> digests;
+    const FuzzSummary s =
+        run_fuzz(101, 30, FuzzConfig{}, [&](const FuzzIteration& it) {
+          digests.push_back(it.digest);
+          return true;
+        });
+    return std::make_pair(s.corpus_digest, digests);
+  };
+  const auto first = campaign();
+  const auto second = campaign();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  EXPECT_EQ(first.second.size(), 30u);
+}
+
+TEST(SwitchFuzz, DifferentSeedsDiverge) {
+  const FuzzIteration a = run_fuzz_iteration(7, FuzzConfig{});
+  const FuzzIteration b = run_fuzz_iteration(8, FuzzConfig{});
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(SwitchFuzz, CleanStackPassesOracle) {
+  // No injected bug: a healthy campaign over faults (cuts, partitions,
+  // dup/reorder, jitter bursts) must produce zero oracle violations.
+  const FuzzSummary s = run_fuzz(201, 40, FuzzConfig{});
+  for (const FuzzFailure& f : s.failures) {
+    ADD_FAILURE() << "false positive: " << f.repro << " (" << f.reason << ")";
+  }
+  EXPECT_EQ(s.iterations, 40u);
+}
+
+TEST(SwitchFuzz, InjectedFlushBugCaughtAndShrunk) {
+  // The deliberate SP bug — members skip sender 0's count in the drain
+  // check — must be caught, and at least one reproducer must shrink to a
+  // schedule of weight <= 3 (events + active knobs).
+  FuzzConfig cfg;
+  cfg.inject_flush_bug = true;
+  const FuzzSummary s = run_fuzz(1, 15, cfg);
+  ASSERT_FALSE(s.failures.empty()) << "oracle missed the injected drain bug";
+  std::size_t min_weight = ~std::size_t{0};
+  for (const FuzzFailure& f : s.failures) {
+    min_weight = std::min(min_weight, f.weight);
+    EXPECT_EQ(f.weight, f.schedule.weight());
+    EXPECT_NE(f.repro.find("--schedule"), std::string::npos);
+    // The shrunk schedule still reproduces, including through a
+    // serialization round-trip (exactly what the repro command does).
+    const auto parsed = FaultSchedule::parse(f.schedule.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    const FuzzIteration replay = run_fuzz_iteration(f.seed, cfg, &*parsed);
+    EXPECT_FALSE(replay.ok) << f.repro;
+  }
+  EXPECT_LE(min_weight, 3u);
+}
+
+TEST(SwitchFuzz, CrashedSequencerRecoversSelfGap) {
+  // Regression for a real fuzzer find: crashing the sequencer node loses
+  // its own loopback SEQUENCED copies; it never gap-nacks itself, so the
+  // gap froze SP's drain forever. The sequencer now refills its own gaps
+  // from local history. Original find: fuzz_switch --seed 13 --crash.
+  FuzzConfig cfg;
+  cfg.enable_crash = true;
+  const auto schedule = FaultSchedule::parse("crash@188644:0;restart@426749:0");
+  ASSERT_TRUE(schedule.has_value());
+  const FuzzIteration it = run_fuzz_iteration(13, cfg, &*schedule);
+  EXPECT_TRUE(it.ok) << it.reason;
+  EXPECT_EQ(it.delivered, it.sent * it.members);
+}
+
+TEST(SwitchFuzz, CrashCampaignPassesStrictOracle) {
+  // Crash/restart faults keep the full oracle: protocol state survives a
+  // crash (only queued packets are lost), so every guarantee must hold.
+  FuzzConfig cfg;
+  cfg.enable_crash = true;
+  const FuzzSummary s = run_fuzz(301, 25, cfg);
+  for (const FuzzFailure& f : s.failures) {
+    ADD_FAILURE() << "crash-mode failure: " << f.repro << " (" << f.reason << ")";
+  }
+}
+
+TEST(SwitchFuzz, ScheduleSerializationRoundTrips) {
+  Rng rng(99);
+  FaultGenOptions opts;
+  opts.max_crashes = 1;
+  for (int i = 0; i < 50; ++i) {
+    const FaultSchedule s = generate_fault_schedule(rng, 2 + i % 7, 1500 * kMillisecond, opts);
+    const auto parsed = FaultSchedule::parse(s.to_string());
+    ASSERT_TRUE(parsed.has_value()) << s.to_string();
+    EXPECT_EQ(parsed->to_string(), s.to_string());
+    EXPECT_EQ(parsed->weight(), s.weight());
+  }
+  const auto none = FaultSchedule::parse("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->empty());
+  EXPECT_EQ(none->to_string(), "none");
+  EXPECT_FALSE(FaultSchedule::parse("part@12").has_value());
+  EXPECT_FALSE(FaultSchedule::parse("dup=notanumber@40000").has_value());
+  EXPECT_FALSE(FaultSchedule::parse("frobnicate@10:1").has_value());
+}
+
+TEST(SwitchFuzz, ShrinkerKeepsRecoveryWithOutage) {
+  // Shrinking must treat an outage and its recovery as one atom: a shrunk
+  // schedule never contains a partition without its heal (or a crash
+  // without its restart), which would fail for the wrong reason.
+  FuzzConfig cfg;
+  cfg.inject_flush_bug = true;
+  const FuzzSummary s = run_fuzz(1, 15, cfg);
+  ASSERT_FALSE(s.failures.empty());
+  for (const FuzzFailure& f : s.failures) {
+    int balance_part = 0, balance_link = 0, balance_crash = 0;
+    for (const FaultEvent& e : f.schedule.events) {
+      switch (e.kind) {
+        case FaultEvent::Kind::kPartition: ++balance_part; break;
+        case FaultEvent::Kind::kHeal: --balance_part; break;
+        case FaultEvent::Kind::kLinkDown: ++balance_link; break;
+        case FaultEvent::Kind::kLinkUp: --balance_link; break;
+        case FaultEvent::Kind::kCrash: ++balance_crash; break;
+        case FaultEvent::Kind::kRestart: --balance_crash; break;
+        case FaultEvent::Kind::kJitterBurst: break;
+      }
+    }
+    EXPECT_EQ(balance_part, 0) << f.repro;
+    EXPECT_EQ(balance_link, 0) << f.repro;
+    EXPECT_EQ(balance_crash, 0) << f.repro;
+  }
+}
+
+}  // namespace
+}  // namespace msw
