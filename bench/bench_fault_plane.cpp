@@ -10,6 +10,7 @@
 // sizing.
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "calibration.hpp"
@@ -35,11 +36,13 @@ struct PlaneResult {
   std::uint64_t dropped_fault = 0;
 };
 
-PlaneResult measure(const PlaneRow& row) {
+PlaneResult measure(const PlaneRow& row, const TelemetryOpts* telem = nullptr) {
   PlaneResult res;
   const auto t0 = std::chrono::steady_clock::now();
   for (int rep = 0; rep < kRepeats; ++rep) {
     Simulation sim(kSeed + rep);
+    const bool capture = telem && telem->armed() && rep == 0;
+    if (capture) sim.enable_tracing();
     Network net(sim.scheduler(), sim.fork_rng(), era_network());
     Group group(sim, net, 4, make_hybrid_total_order_factory());
 
@@ -62,6 +65,7 @@ PlaneResult measure(const PlaneRow& row) {
     res.duplicated += net.stats().copies_duplicated;
     res.dropped_fault += net.stats().copies_dropped_fault + net.stats().copies_dropped_link +
                          net.stats().copies_dropped_node;
+    if (capture) export_telemetry(sim, *telem);
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
@@ -75,8 +79,11 @@ PlaneResult measure(const PlaneRow& row) {
 }  // namespace
 }  // namespace msw::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msw::bench;
+  // --trace-out/--metrics-out capture the first repeat of the
+  // "everything + crash" row (the schedule exercising every fault kind).
+  const TelemetryOpts telem = parse_telemetry_flags(argc, argv);
 
   title("E-fuzz: fault-plane overhead (4 members, 40 multicasts, 1 switch)");
   const PlaneRow rows[] = {
@@ -95,7 +102,8 @@ int main() {
               "dup copies", "drops");
   rule();
   for (const PlaneRow& row : rows) {
-    const PlaneResult r = measure(row);
+    const bool last = &row == &rows[std::size(rows) - 1];
+    const PlaneResult r = measure(row, last ? &telem : nullptr);
     std::printf("  %-28s %12.2f %12llu %12llu %12llu\n", row.label, r.wall_ms_per_run,
                 static_cast<unsigned long long>(r.delivered),
                 static_cast<unsigned long long>(r.duplicated),

@@ -2,7 +2,11 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+
+#include "sim/simulation.hpp"
+#include "telemetry/export.hpp"
 
 namespace msw::bench {
 
@@ -17,6 +21,41 @@ inline void rule(int width = 78) {
 
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+}
+
+/// Optional telemetry capture for bench binaries. Benches that support it
+/// accept --trace-out F (Chrome trace_event JSON of one representative
+/// run) and --metrics-out F (metrics JSON); with neither flag, tracing
+/// stays unarmed and the bench measures the zero-telemetry hot path.
+struct TelemetryOpts {
+  std::string trace_out;
+  std::string metrics_out;
+  bool armed() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+inline TelemetryOpts parse_telemetry_flags(int argc, char** argv) {
+  TelemetryOpts o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+      (arg == "--trace-out" ? o.trace_out : o.metrics_out) = argv[++i];
+    }
+  }
+  return o;
+}
+
+/// Write the armed simulation's trace / metrics to the requested files.
+inline void export_telemetry(const Simulation& sim, const TelemetryOpts& o) {
+  if (!o.trace_out.empty()) {
+    std::ofstream os(o.trace_out, std::ios::binary);
+    write_chrome_trace(sim.telemetry(), os);
+    std::fprintf(stderr, "trace written to %s\n", o.trace_out.c_str());
+  }
+  if (!o.metrics_out.empty()) {
+    std::ofstream os(o.metrics_out, std::ios::binary);
+    write_metrics_json(sim.telemetry(), os);
+    std::fprintf(stderr, "metrics written to %s\n", o.metrics_out.c_str());
+  }
 }
 
 }  // namespace msw::bench

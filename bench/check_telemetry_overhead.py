@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Guard: telemetry compiled in must not slow the multicast hot path.
+
+Compares two google-benchmark JSON files — a default build (telemetry
+compiled in, rings unarmed) and a -DMSW_TELEMETRY=OFF build — and fails
+if BM_MulticastFanOut regresses by more than the allowed percentage
+(default 3, DESIGN.md section 9's overhead budget). Metrics attach as
+external views of counters the hot path already increments and tracer
+emission is a single branch on a null ring, so the two builds should be
+indistinguishable; a real gap means an instrument leaked into the
+per-copy path.
+
+Usage: check_telemetry_overhead.py ON.json OFF.json [max_regression_pct]
+"""
+import json
+import sys
+
+
+def mean_times(path):
+    """run_name -> cpu_time (the mean aggregate, or the plain iteration
+    entry when the run used a single repetition)."""
+    with open(path) as f:
+        raw = json.load(f)
+    out = {}
+    for b in raw["benchmarks"]:
+        if b.get("aggregate_name") == "mean" or (
+            b.get("run_type") == "iteration" and b["run_name"] not in out
+        ):
+            out[b["run_name"]] = b["cpu_time"]
+    return out
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    on = mean_times(sys.argv[1])
+    off = mean_times(sys.argv[2])
+    limit = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    names = [n for n in ("BM_MulticastFanOut/32", "BM_MulticastFanOut/8")
+             if n in on and n in off]
+    if not names:
+        sys.exit("no BM_MulticastFanOut results in both files; "
+                 "wrong --benchmark_filter?")
+
+    failed = []
+    for n in names:
+        pct = 100.0 * (on[n] / off[n] - 1.0)
+        print(f"{n}: telemetry-on {on[n]:.1f} ns vs telemetry-off "
+              f"{off[n]:.1f} ns -> {pct:+.2f}%")
+        if pct > limit:
+            failed.append(n)
+    if failed:
+        sys.exit(f"telemetry overhead exceeds {limit}% on: {', '.join(failed)}")
+    print(f"ok: multicast hot path within {limit}% of the telemetry-off build")
+
+
+if __name__ == "__main__":
+    main()

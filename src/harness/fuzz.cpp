@@ -9,6 +9,7 @@
 #include "sim/simulation.hpp"
 #include "stack/group.hpp"
 #include "switch/hybrid.hpp"
+#include "telemetry/export.hpp"
 #include "trace/properties.hpp"
 #include "trace/trace.hpp"
 
@@ -33,6 +34,11 @@ struct IterationPlan {
   std::vector<std::pair<Time, std::size_t>> switches;  // (when, initiator)
   std::uint64_t initial_epoch = 0;
   bool inject_flush_bug = false;
+  bool capture_telemetry = false;
+  std::size_t telemetry_ring = 4096;
+  /// When non-empty, execute() also renders a flight record with this
+  /// failure reason (the shrinker's final capture run).
+  std::string flight_reason;
 };
 
 IterationPlan make_plan(std::uint64_t seed, const FuzzConfig& cfg) {
@@ -69,6 +75,8 @@ IterationPlan make_plan(std::uint64_t seed, const FuzzConfig& cfg) {
   }
   plan.initial_epoch = rng.chance(0.5) ? 1 : 0;
   plan.inject_flush_bug = cfg.inject_flush_bug;
+  plan.capture_telemetry = cfg.capture_telemetry;
+  plan.telemetry_ring = cfg.telemetry_ring;
   return plan;
 }
 
@@ -81,10 +89,20 @@ struct RunObservation {
   std::vector<std::size_t> buffered;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  // Telemetry exports (capture_telemetry only). Rendered inside execute()
+  // because the hub dies with the Simulation.
+  std::string chrome_trace;
+  std::string events_jsonl;
+  std::string metrics_json;
+  std::string metrics_summary;
+  std::string flight_record;
 };
 
 RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   Simulation sim(mix64(seed ^ 0xf00dULL));
+  if (plan.capture_telemetry || !plan.flight_reason.empty()) {
+    sim.enable_tracing(plan.telemetry_ring);
+  }
   Network net(sim.scheduler(), sim.fork_rng(), plan.net);
 
   HybridConfig hybrid;
@@ -145,6 +163,23 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   }
   obs.sent = group.total_sent();
   obs.delivered = group.total_delivered();
+
+  const TelemetryHub& hub = sim.telemetry();
+  if (plan.capture_telemetry) {
+    std::ostringstream chrome, jsonl, metrics;
+    write_chrome_trace(hub, chrome);
+    write_events_jsonl(hub, jsonl);
+    write_metrics_json(hub, metrics);
+    obs.chrome_trace = chrome.str();
+    obs.events_jsonl = jsonl.str();
+    obs.metrics_json = metrics.str();
+    obs.metrics_summary = metrics_summary_line(hub);
+  }
+  if (!plan.flight_reason.empty()) {
+    std::ostringstream flight;
+    write_flight_record(hub, flight, plan.flight_reason);
+    obs.flight_record = flight.str();
+  }
   return obs;
 }
 
@@ -328,12 +363,16 @@ FuzzIteration run_fuzz_iteration(std::uint64_t seed, const FuzzConfig& cfg,
   it.members = plan.members;
   it.schedule = plan.schedule;
 
-  const RunObservation obs = execute(seed, plan);
+  RunObservation obs = execute(seed, plan);
   it.digest = trace_digest(obs.trace);
   it.sent = obs.sent;
   it.delivered = obs.delivered;
   it.reason = check_oracle(plan, obs);
   it.ok = it.reason.empty();
+  it.chrome_trace = std::move(obs.chrome_trace);
+  it.events_jsonl = std::move(obs.events_jsonl);
+  it.metrics_json = std::move(obs.metrics_json);
+  it.metrics_summary = std::move(obs.metrics_summary);
   std::ostringstream st;
   for (std::size_t i = 0; i < plan.members; ++i) {
     st << "  member " << i << ": epoch=" << obs.final_epoch[i]
@@ -392,6 +431,17 @@ FuzzFailure shrink_failure(const FuzzIteration& failed, const FuzzConfig& cfg) {
 
   out.weight = out.schedule.weight();
   out.repro = make_repro(failed.seed, cfg, out.schedule);
+
+  // Flight recorder: one more run of the shrunk schedule with tracing
+  // armed, so the last events per node land next to the repro line. The
+  // extra run is outside the shrink budget — failures are rare and the
+  // dump is the main post-mortem artifact.
+  {
+    IterationPlan plan = make_plan(failed.seed, cfg);
+    plan.schedule = out.schedule;
+    plan.flight_reason = out.reason.empty() ? "oracle failure" : out.reason;
+    out.flight_record = execute(failed.seed, plan).flight_record;
+  }
   return out;
 }
 

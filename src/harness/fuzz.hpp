@@ -40,6 +40,12 @@ struct FuzzConfig {
   bool inject_flush_bug = false;
   /// Maximum simulation re-runs the shrinker may spend per failure.
   std::size_t shrink_budget = 200;
+  /// Arm per-node telemetry rings during execution and export the trace /
+  /// metrics documents on every iteration (FuzzIteration string fields).
+  /// Failures capture a flight record regardless of this flag.
+  bool capture_telemetry = false;
+  /// Ring capacity (events per node) when telemetry is armed.
+  std::size_t telemetry_ring = 4096;
 };
 
 struct FuzzIteration {
@@ -57,6 +63,13 @@ struct FuzzIteration {
   /// Per-member end state ("i: epoch=E switching=S buffered=B" lines) —
   /// diagnostic detail for replaying reproducers.
   std::string state;
+  /// Telemetry exports, populated only when cfg.capture_telemetry: Chrome
+  /// trace_event JSON, the JSONL event dump, the metrics JSON document,
+  /// and the one-line metrics summary.
+  std::string chrome_trace;
+  std::string events_jsonl;
+  std::string metrics_json;
+  std::string metrics_summary;
 };
 
 struct FuzzFailure {
@@ -68,6 +81,10 @@ struct FuzzFailure {
   std::size_t weight = 0;
   /// One-line command reproducing the failure.
   std::string repro;
+  /// Flight-recorder dump (JSONL, header line first): the last events per
+  /// node from re-running the shrunk schedule with tracing armed. Written
+  /// next to the repro by fuzz_switch as flight_seed<seed>.jsonl.
+  std::string flight_record;
 };
 
 struct FuzzSummary {

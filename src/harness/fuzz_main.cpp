@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "harness/fuzz.hpp"
@@ -31,11 +32,24 @@ namespace {
                "  --time-budget S     stop early after S wall seconds (breaks digest\n"
                "                      comparability between runs that cut off differently)\n"
                "  --schedule STR      run a single iteration with this exact fault schedule\n"
+               "  --trace-out F       write a Chrome trace_event JSON of the first iteration\n"
+               "                      to F (open in Perfetto); forces --iters 1 unless\n"
+               "                      --schedule is given\n"
+               "  --metrics-out F     write the metrics JSON of the first iteration to F\n"
+               "  --dump-dir D        directory for flight-recorder dumps on failure\n"
+               "                      (flight_seed<N>.jsonl next to the repro; default .)\n"
                "  --verbose           one line per iteration instead of failures only;\n"
                "                      with --schedule, also dump per-member end state\n"
                "  --log-level L       trace|debug|info|warn (stderr; default warn)\n",
                argv0);
   std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << body;
+  return static_cast<bool>(os);
 }
 
 }  // namespace
@@ -45,6 +59,9 @@ int main(int argc, char** argv) {
   std::size_t iters = 100;
   double time_budget = 0;
   std::string schedule_str;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string dump_dir = ".";
   bool verbose = false;
   msw::FuzzConfig cfg;
 
@@ -66,6 +83,12 @@ int main(int argc, char** argv) {
       time_budget = std::strtod(value(), nullptr);
     } else if (arg == "--schedule") {
       schedule_str = value();
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
+    } else if (arg == "--dump-dir") {
+      dump_dir = value();
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--log-level") {
@@ -91,6 +114,31 @@ int main(int argc, char** argv) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   };
 
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    cfg.capture_telemetry = true;
+    if (schedule_str.empty() && iters != 1) {
+      std::fprintf(stderr, "note: --trace-out/--metrics-out capture one iteration; forcing --iters 1\n");
+      iters = 1;
+    }
+  }
+  const auto write_exports = [&](const msw::FuzzIteration& it) {
+    if (!trace_out.empty()) {
+      if (!write_file(trace_out, it.chrome_trace)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        std::exit(2);
+      }
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      if (!write_file(metrics_out, it.metrics_json)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        std::exit(2);
+      }
+      std::fprintf(stderr, "metrics written to %s (%s)\n", metrics_out.c_str(),
+                   it.metrics_summary.c_str());
+    }
+  };
+
   if (!schedule_str.empty()) {
     // Replay mode: one iteration under an explicit schedule.
     const auto schedule = msw::FaultSchedule::parse(schedule_str);
@@ -106,6 +154,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(it.digest),
                 it.ok ? "OK" : ("FAIL: " + it.reason).c_str());
     if (verbose) std::fputs(it.state.c_str(), stdout);
+    write_exports(it);
     return it.ok ? 0 : 1;
   }
 
@@ -113,6 +162,7 @@ int main(int argc, char** argv) {
   const msw::FuzzSummary summary =
       msw::run_fuzz(seed, iters, cfg, [&](const msw::FuzzIteration& it) {
         ++done;
+        if (done == 1 && cfg.capture_telemetry) write_exports(it);
         if (verbose) {
           std::printf("iter seed=%llu members=%zu sent=%llu digest=%016llx %s\n",
                       static_cast<unsigned long long>(it.seed), it.members,
@@ -131,6 +181,15 @@ int main(int argc, char** argv) {
     std::printf("FAILURE seed=%llu weight=%zu reason=%s\n",
                 static_cast<unsigned long long>(f.seed), f.weight, f.reason.c_str());
     std::printf("  repro: %s\n", f.repro.c_str());
+    if (!f.flight_record.empty()) {
+      const std::string path =
+          dump_dir + "/flight_seed" + std::to_string(f.seed) + ".jsonl";
+      if (write_file(path, f.flight_record)) {
+        std::printf("  flight: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write flight record %s\n", path.c_str());
+      }
+    }
   }
   std::printf("fuzz_switch: %zu iterations, %zu failures, corpus_digest=%016llx\n",
               summary.iterations, summary.failures.size(),

@@ -74,7 +74,8 @@ Time Network::transmit_time(NodeId from, std::size_t bytes) {
 }
 
 void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
-  sched_.at(arrive, [this, dest, p = std::move(packet)]() mutable {
+  const Time sent_at = sched_.now();
+  sched_.at(arrive, [this, dest, sent_at, p = std::move(packet)]() mutable {
     Node& n = nodes_[dest.v];
     if (!n.up) {
       ++stats_.copies_dropped_node;
@@ -87,13 +88,17 @@ void Network::deliver_copy(NodeId dest, Packet packet, Time arrive) {
     const Time done = start + cfg_.cpu_recv;
     n.cpu_free_at = done;
     const std::uint64_t inc = n.incarnation;
-    sched_.at(done, [this, dest, inc, p = std::move(p)]() mutable {
+    sched_.at(done, [this, dest, inc, sent_at, p = std::move(p)]() mutable {
       Node& node = nodes_[dest.v];
       if (!node.up || node.incarnation != inc || !node.handler) {
         ++stats_.copies_dropped_node;
         return;
       }
       ++stats_.copies_delivered;
+      if (cfg_.sample_delivery_latency) {
+        stats_.delivery_latency_ms.add(
+            static_cast<double>(sched_.now() - sent_at) / kMillisecond);
+      }
       node.handler(std::move(p));
     });
   });
@@ -119,6 +124,9 @@ bool Network::route_copy(NodeId from, NodeId dest, const Payload& data, Time on_
   deliver_copy(dest, Packet{from, data}, arrive);
   if (plan.duplicate) {
     ++stats_.copies_duplicated;
+    // The duplicate occupies the wire like any other copy; count its bytes
+    // so bytes_on_wire reflects actual wire load under fault injection.
+    stats_.bytes_on_wire += data.size() + cfg_.wire_overhead_bytes;
     deliver_copy(dest, Packet{from, data}, arrive + plan.duplicate_delay);
   }
   return true;

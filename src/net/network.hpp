@@ -56,6 +56,10 @@ struct NetConfig {
   Duration cpu_recv = 300 * kMicrosecond;
   /// Independent per-destination drop probability (loopback never drops).
   double loss = 0.0;
+  /// Record per-copy send-to-handler latency into
+  /// NetStats::delivery_latency_ms. Off by default: sampling appends to a
+  /// vector per delivered copy, which the multicast hot path must not pay.
+  bool sample_delivery_latency = false;
 };
 
 /// Receiver callback installed per node. Move-only with inline storage:
@@ -127,6 +131,16 @@ class Network {
 
   /// Install (or clear, with nullptr) the per-copy fault hook. Not owned.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Crash count of a node — stamps telemetry events so a trace shows
+  /// which incarnation of the node emitted them.
+  std::uint64_t incarnation(NodeId node) const { return nodes_[node.v].incarnation; }
+
+  /// Attach every NetStats counter to `reg` (prefix "net.") — the telemetry
+  /// plane's single sink for network counters. The hot path keeps writing
+  /// the plain NetStats fields; the registry holds views, so binding costs
+  /// the send/multicast path nothing.
+  void bind_metrics(MetricsRegistry& reg) const { stats_.bind_metrics(reg); }
 
   /// Occupy the node's CPU for `d` starting now (protocol processing such
   /// as the sequencer's ordering work). Subsequent sends and receive

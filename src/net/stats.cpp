@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "telemetry/metrics.hpp"
+
 namespace msw {
 
 std::string NetStats::summary() const {
@@ -12,7 +14,23 @@ std::string NetStats::summary() const {
      << " delivered=" << copies_delivered << " dropped(loss/link/node/fault)=" << copies_dropped_loss
      << "/" << copies_dropped_link << "/" << copies_dropped_node << "/" << copies_dropped_fault
      << " duplicated=" << copies_duplicated << " bytes=" << bytes_on_wire;
+  if (!delivery_latency_ms.empty()) {
+    os << " latency_ms(p50/p99/max)=" << delivery_latency_ms.median() << "/"
+       << delivery_latency_ms.p99() << "/" << delivery_latency_ms.max();
+  }
   return os.str();
+}
+
+void NetStats::bind_metrics(MetricsRegistry& reg) const {
+  reg.attach_counter("net.unicasts_sent", &unicasts_sent);
+  reg.attach_counter("net.multicasts_sent", &multicasts_sent);
+  reg.attach_counter("net.copies_delivered", &copies_delivered);
+  reg.attach_counter("net.copies_dropped_loss", &copies_dropped_loss);
+  reg.attach_counter("net.copies_dropped_link", &copies_dropped_link);
+  reg.attach_counter("net.copies_dropped_node", &copies_dropped_node);
+  reg.attach_counter("net.copies_dropped_fault", &copies_dropped_fault);
+  reg.attach_counter("net.copies_duplicated", &copies_duplicated);
+  reg.attach_counter("net.bytes_on_wire", &bytes_on_wire);
 }
 
 void Summary::add(double v) {
@@ -52,6 +70,20 @@ double Summary::stddev() const {
 }
 
 double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  // Quantile at fractional rank (n-1)p/100, linearly interpolated between
+  // the two bracketing order statistics. Nearest-rank stepped to a single
+  // sample (p99 of 10 samples == max), badly biased at small counts.
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double Summary::percentile_nearest(double p) const {
   if (samples_.empty()) return 0.0;
   ensure_sorted();
   p = std::clamp(p, 0.0, 100.0);

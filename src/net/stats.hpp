@@ -8,20 +8,7 @@
 
 namespace msw {
 
-struct NetStats {
-  std::uint64_t unicasts_sent = 0;
-  std::uint64_t multicasts_sent = 0;
-  std::uint64_t copies_delivered = 0;
-  std::uint64_t copies_dropped_loss = 0;
-  std::uint64_t copies_dropped_link = 0;
-  std::uint64_t copies_dropped_node = 0;
-  std::uint64_t copies_dropped_fault = 0;  // injected drops (net/fault.hpp)
-  std::uint64_t copies_duplicated = 0;     // injected duplicates
-  std::uint64_t bytes_on_wire = 0;
-
-  void reset() { *this = NetStats{}; }
-  std::string summary() const;
-};
+class MetricsRegistry;
 
 /// Accumulates double-valued samples; computes order statistics on demand.
 class Summary {
@@ -35,9 +22,15 @@ class Summary {
   double min() const;
   double max() const;
   double stddev() const;
-  /// p in [0,100]; nearest-rank on the sorted samples.
+  /// p in [0,100]; linear interpolation between the order statistics (the
+  /// quantile at rank (n-1)p/100), so small sample counts no longer suffer
+  /// the nearest-rank step bias. percentile(50) of {10,20} is 15, not 10.
   double percentile(double p) const;
+  /// Nearest-rank percentile (the pre-interpolation behaviour), kept for
+  /// callers that want an actually-observed sample back.
+  double percentile_nearest(double p) const;
   double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
 
  private:
   void ensure_sorted() const;
@@ -45,6 +38,29 @@ class Summary {
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool dirty_ = false;
+};
+
+struct NetStats {
+  std::uint64_t unicasts_sent = 0;
+  std::uint64_t multicasts_sent = 0;
+  std::uint64_t copies_delivered = 0;
+  std::uint64_t copies_dropped_loss = 0;
+  std::uint64_t copies_dropped_link = 0;
+  std::uint64_t copies_dropped_node = 0;
+  std::uint64_t copies_dropped_fault = 0;  // injected drops (net/fault.hpp)
+  std::uint64_t copies_duplicated = 0;     // injected duplicates
+  /// Wire occupancy in bytes, including injected duplicate copies.
+  std::uint64_t bytes_on_wire = 0;
+  /// Per-copy send->handler latency in ms; populated only when
+  /// NetConfig::sample_delivery_latency is set (off the hot path otherwise).
+  Summary delivery_latency_ms;
+
+  void reset() { *this = NetStats{}; }
+  /// One-line counter summary; includes delivery-latency p99 when sampled.
+  std::string summary() const;
+  /// Register every counter on `reg` under the "net." prefix, making the
+  /// registry the single export sink for network counters.
+  void bind_metrics(MetricsRegistry& reg) const;
 };
 
 }  // namespace msw

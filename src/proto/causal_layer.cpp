@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace msw {
 namespace {
 
@@ -10,6 +12,11 @@ enum class Type : std::uint8_t { kData = 0, kPass = 1 };
 }  // namespace
 
 void CausalLayer::start() {
+  tr_ = &ctx().tracer();
+  n_blocked_ = tr_->intern("causal.blocked");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("causal.blocked_total", &blocked_total_);
+  }
   delivered_.assign(ctx().member_count(), 0);
 }
 
@@ -61,6 +68,10 @@ void CausalLayer::up(Message m) {
   }
   if (vc.size() != ctx().member_count()) return;  // malformed
   pending_.push_back(Pending{index_of(origin), std::move(vc), std::move(m)});
+  if (!deliverable(pending_.back())) {
+    ++blocked_total_;
+    tr_->instant(n_blocked_, TelemetryTrack::kData, pending_.size());
+  }
   drain();
 }
 

@@ -46,6 +46,10 @@ class CausalLayer : public Layer {
   std::vector<std::uint64_t> delivered_;  // per member index
   std::uint64_t sent_ = 0;
   std::vector<Pending> pending_;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_blocked_ = 0;
+  std::uint64_t blocked_total_ = 0;
 };
 
 }  // namespace msw

@@ -1,11 +1,21 @@
 #include "proto/fifo_layer.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace msw {
 namespace {
 
 enum class Type : std::uint8_t { kData = 0, kPass = 1 };
 
 }  // namespace
+
+void FifoLayer::start() {
+  tr_ = &ctx().tracer();
+  n_gap_ = tr_->intern("fifo.gap_buffer");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("fifo.gaps_buffered", &gaps_buffered_);
+  }
+}
 
 void FifoLayer::down(Message m) {
   if (m.is_p2p()) {
@@ -40,6 +50,10 @@ void FifoLayer::up(Message m) {
   }
   Origin& o = origins_[origin];
   if (seq < o.next_expected) return;  // duplicate of an already-delivered message
+  if (seq != o.next_expected) {
+    ++gaps_buffered_;
+    tr_->instant(n_gap_, TelemetryTrack::kData, seq - o.next_expected);
+  }
   o.pending.emplace(seq, std::move(m));
   // Drain the contiguous run starting at next_expected.
   for (auto it = o.pending.find(o.next_expected); it != o.pending.end();

@@ -21,6 +21,7 @@ class FifoLayer : public Layer {
  public:
   std::string_view name() const override { return "fifo"; }
 
+  void start() override;
   void down(Message m) override;
   void up(Message m) override;
 
@@ -35,6 +36,10 @@ class FifoLayer : public Layer {
 
   std::uint64_t next_seq_ = 0;
   std::unordered_map<std::uint32_t, Origin> origins_;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_gap_ = 0;
+  std::uint64_t gaps_buffered_ = 0;
 };
 
 }  // namespace msw

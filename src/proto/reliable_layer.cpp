@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace msw {
@@ -23,6 +24,14 @@ constexpr std::size_t kMaxNackBatch = 64;
 }  // namespace
 
 void ReliableLayer::start() {
+  tr_ = &ctx().tracer();
+  n_nack_ = tr_->intern("rel.nack");
+  n_retx_ = tr_->intern("rel.retransmit");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("rel.nacks_sent", &stats_.nacks_sent);
+    reg->attach_counter("rel.retransmissions", &stats_.retransmissions);
+    reg->attach_counter("rel.duplicates_dropped", &stats_.duplicates_dropped);
+  }
   ctx().set_timer(cfg_.nack_interval, [this] { send_nacks(); });
   ctx().set_timer(cfg_.heartbeat_interval, [this] { send_heartbeat(); });
   ctx().set_timer(cfg_.ack_interval, [this] { send_acks(); });
@@ -169,6 +178,7 @@ void ReliableLayer::on_nack(NodeId requester, std::uint32_t origin,
     }
     if (copy == nullptr) continue;  // collected, or we never had it
     ++stats_.retransmissions;
+    tr_->instant(n_retx_, TelemetryTrack::kData, seq);
     ctx().send_down(Message::p2p(requester, *copy));
   }
 }
@@ -216,6 +226,7 @@ void ReliableLayer::send_nacks() {
     }
     if (missing.empty()) continue;
     ++stats_.nacks_sent;
+    tr_->instant(n_nack_, TelemetryTrack::kData, missing.size());
     Message m = Message::p2p(nack_target(origin), {});
     const std::uint32_t stream = origin;
     m.push_header([&](Writer& w) {

@@ -103,6 +103,9 @@ class ReliableLayer : public Layer {
   std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>> ack_matrix_;
   std::size_t nack_rotation_ = 0;
   Stats stats_;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_nack_ = 0, n_retx_ = 0;
 };
 
 }  // namespace msw

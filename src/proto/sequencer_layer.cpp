@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace msw {
@@ -21,6 +22,16 @@ constexpr std::size_t kMaxNackBatch = 64;
 }  // namespace
 
 void SequencerLayer::start() {
+  tr_ = &ctx().tracer();
+  n_gap_nack_ = tr_->intern("seq.gap_nack");
+  n_retx_ = tr_->intern("seq.history_retransmit");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("seq.requests_retransmitted", &stats_.requests_retransmitted);
+    reg->attach_counter("seq.gap_nacks_sent", &stats_.gap_nacks_sent);
+    reg->attach_counter("seq.history_retransmissions", &stats_.history_retransmissions);
+    reg->attach_counter("seq.duplicates_dropped", &stats_.duplicates_dropped);
+    reg->attach_counter("seq.sequenced", &stats_.sequenced);
+  }
   ctx().set_timer(cfg_.request_rto, [this] { retransmit_pending(); });
   ctx().set_timer(cfg_.nack_interval, [this] { send_gap_nacks(); });
   ctx().set_timer(cfg_.ack_interval, [this] { send_gc_ack(); });
@@ -230,6 +241,7 @@ void SequencerLayer::send_gap_nacks() {
         }
       } else {
         ++stats_.gap_nacks_sent;
+        tr_->instant(n_gap_nack_, TelemetryTrack::kData);
         Message m = Message::p2p(sequencer(), {});
         m.push_header([&](Writer& w) {
           w.u8(static_cast<std::uint8_t>(Type::kGapNack));

@@ -101,6 +101,9 @@ class SequencerLayer : public Layer {
   std::uint64_t highest_gseq_seen_ = 0;  // exclusive bound for gap NACKs
   std::map<std::uint64_t, Message> reorder_;
   Stats stats_;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_gap_nack_ = 0, n_retx_ = 0;
 };
 
 }  // namespace msw

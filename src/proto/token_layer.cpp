@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace msw {
@@ -20,6 +21,16 @@ constexpr std::size_t kMaxNackBatch = 64;
 }  // namespace
 
 void TokenLayer::start() {
+  tr_ = &ctx().tracer();
+  n_visit_ = tr_->intern("token.visit");
+  n_gap_nack_ = tr_->intern("token.gap_nack");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("token.visits", &stats_.token_visits);
+    reg->attach_counter("token.retransmissions", &stats_.token_retransmissions);
+    reg->attach_counter("token.gap_nacks_sent", &stats_.gap_nacks_sent);
+    reg->attach_counter("token.history_retransmissions", &stats_.history_retransmissions);
+    reg->attach_counter("token.duplicates_dropped", &stats_.duplicates_dropped);
+  }
   ctx().set_timer(cfg_.nack_interval, [this] { send_gap_nacks(); });
   if (ctx().self_index() == 0) {
     // The first member originates the token. Processing it immediately
@@ -114,6 +125,7 @@ void TokenLayer::on_token(Token t, NodeId from) {
   last_serial_seen_ = t.serial;
   last_token_sender_ = from;
   ++stats_.token_visits;
+  tr_->instant(n_visit_, TelemetryTrack::kData, queued_.size());
   process_token(std::move(t));
 }
 
@@ -227,6 +239,7 @@ void TokenLayer::send_gap_nacks() {
     }
     if (!missing.empty()) {
       ++stats_.gap_nacks_sent;
+      tr_->instant(n_gap_nack_, TelemetryTrack::kData, missing.size());
       Message m = Message::group({});
       m.push_header([&](Writer& w) {
         w.u8(static_cast<std::uint8_t>(Type::kNack));

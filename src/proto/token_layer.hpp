@@ -100,6 +100,9 @@ class TokenLayer : public Layer {
   std::uint64_t outstanding_serial_ = 0;
   Payload outstanding_bytes_;
   Stats stats_;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_visit_ = 0, n_gap_nack_ = 0;
 };
 
 }  // namespace msw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace msw {
@@ -35,6 +36,12 @@ std::vector<std::uint32_t> decode_view_body(std::span<const Byte> body) {
 }
 
 void VsyncLayer::start() {
+  tr_ = &ctx().tracer();
+  n_flush_ = tr_->intern("vsync.flush");
+  n_view_ = tr_->intern("vsync.view_installed");
+  if (MetricsRegistry* reg = ctx().metrics()) {
+    reg->attach_counter("vsync.views_installed", &views_installed_);
+  }
   view_members_.clear();
   for (NodeId m : ctx().members()) view_members_.push_back(m.v);
   // Every member delivers the initial view notification so captured traces
@@ -193,6 +200,9 @@ void VsyncLayer::deliver_counted(std::uint32_t origin, Message m) {
 
 void VsyncLayer::on_flush_req(std::uint64_t new_view_id, std::vector<std::uint32_t> new_members) {
   if (new_view_id <= view_id_ || (flushing_ && new_view_id == pending_view_id_)) return;
+  // Membership track keeps the flush span clear of data-track nesting (the
+  // flush delivers buffered data mid-span).
+  tr_->begin(n_flush_, TelemetryTrack::kMembership, new_view_id);
   flushing_ = true;
   pending_view_id_ = new_view_id;
   pending_members_ = std::move(new_members);
@@ -299,6 +309,9 @@ void VsyncLayer::maybe_install_view() {
 }
 
 void VsyncLayer::install_view() {
+  tr_->end(n_flush_, TelemetryTrack::kMembership, pending_view_id_);
+  tr_->instant(n_view_, TelemetryTrack::kMembership, pending_view_id_);
+  ++views_installed_;
   view_id_ = pending_view_id_;
   view_members_ = cut_members_;
   sent_in_view_ = 0;

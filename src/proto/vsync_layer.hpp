@@ -119,6 +119,10 @@ class VsyncLayer : public Layer {
   std::map<std::uint32_t, FlushOk> flush_oks_;
   TimerId flush_timer_{};
   bool change_in_progress_ = false;
+
+  Tracer* tr_ = &Tracer::disabled();
+  std::uint32_t n_flush_ = 0, n_view_ = 0;
+  std::uint64_t views_installed_ = 0;
 };
 
 }  // namespace msw

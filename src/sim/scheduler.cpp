@@ -1,8 +1,17 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace msw {
+
+void Scheduler::bind_metrics(MetricsRegistry& reg) const {
+  reg.attach_counter("sched.executed", &executed_);
+  reg.attach_counter("sched.cancelled", &cancelled_);
+  reg.attach_counter("sched.peak_pending", &peak_pending_);
+}
 
 EventId Scheduler::at(Time t, Fn fn) {
   assert(t >= now_ && "cannot schedule into the past");
@@ -20,6 +29,7 @@ EventId Scheduler::at(Time t, Fn fn) {
   const std::uint32_t gen = s.gen;
   queue_.push(Ev{t, next_seq_++, slot, gen});
   ++size_;
+  peak_pending_ = std::max<std::uint64_t>(peak_pending_, size_);
   return EventId{slot, gen};
 }
 
@@ -44,6 +54,7 @@ void Scheduler::cancel(EventId id) {
   s.fn = nullptr;
   retire_slot(id.slot);
   --size_;
+  ++cancelled_;
 }
 
 bool Scheduler::pop_one() {

@@ -23,6 +23,8 @@
 
 namespace msw {
 
+class MetricsRegistry;
+
 /// Handle for a scheduled event, usable with Scheduler::cancel. A default
 /// constructed id is invalid; ids are never reused (generations advance
 /// when a slot is recycled).
@@ -66,6 +68,12 @@ class Scheduler {
   Time now() const { return now_; }
   std::size_t pending() const { return size_; }
   std::uint64_t executed() const { return executed_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+  /// High-water mark of simultaneously pending events.
+  std::uint64_t peak_pending() const { return peak_pending_; }
+
+  /// Register the scheduler's counters on `reg` under "sched." names.
+  void bind_metrics(MetricsRegistry& reg) const;
 
  private:
   struct Ev {
@@ -95,7 +103,9 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t size_ = 0;  // live (non-cancelled) events
+  std::uint64_t peak_pending_ = 0;
   std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;

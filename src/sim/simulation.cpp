@@ -2,6 +2,9 @@
 
 namespace msw {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+  telemetry_.attach_clock(&scheduler_);
+  scheduler_.bind_metrics(telemetry_.global());
+}
 
 }  // namespace msw

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "sim/scheduler.hpp"
+#include "telemetry/hub.hpp"
 #include "util/rng.hpp"
 
 namespace msw {
@@ -32,9 +33,20 @@ class Simulation {
   void run_until(Time t) { scheduler_.run_until(t); }
   void run_for(Duration d) { scheduler_.run_until(scheduler_.now() + d); }
 
+  /// Telemetry aggregation point: per-node tracers and metric registries,
+  /// plus the simulation-scope registry the scheduler's counters attach to.
+  TelemetryHub& telemetry() { return telemetry_; }
+  const TelemetryHub& telemetry() const { return telemetry_; }
+
+  /// Arm per-node event rings (spans/instants start recording).
+  void enable_tracing(std::size_t ring_capacity = TelemetryHub::kDefaultRingCapacity) {
+    telemetry_.enable_tracing(ring_capacity);
+  }
+
  private:
   Scheduler scheduler_;
   Rng rng_;
+  TelemetryHub telemetry_;
 };
 
 }  // namespace msw

@@ -3,13 +3,20 @@
 namespace msw {
 
 Group::Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory) {
+  TelemetryHub& hub = sim.telemetry();
+  if (hub.network() != &net) {
+    // First group on this network: make it the incarnation source and hook
+    // its counters into the simulation-scope registry.
+    hub.attach_network(&net);
+    net.bind_metrics(hub.global());
+  }
   members_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) members_.push_back(net.add_node());
   stacks_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     stacks_.push_back(std::make_unique<Stack>(net, members_[i], members_,
                                               factory(members_[i], members_), sim.fork_rng(),
-                                              &capture_));
+                                              &capture_, &hub));
   }
 }
 

@@ -23,9 +23,12 @@
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
 #include "stack/message.hpp"
+#include "telemetry/tracer.hpp"
 #include "util/rng.hpp"
 
 namespace msw {
+
+class MetricsRegistry;
 
 /// Per-process services a layer may use: identity, membership, virtual
 /// time, timers, and a deterministic random stream. Provided by the Stack
@@ -42,6 +45,12 @@ class Services {
   virtual Rng& rng() = 0;
   /// Model protocol processing time: occupy this node's CPU for `d`.
   virtual void consume_cpu(Duration d) = 0;
+  /// Per-node span emitter. Defaults to the disabled singleton so layers
+  /// may emit unconditionally; stacks wired to a TelemetryHub override.
+  virtual Tracer& tracer() { return Tracer::disabled(); }
+  /// Per-node metrics registry, or nullptr when the stack was constructed
+  /// without telemetry. Layers attach their counters in start().
+  virtual MetricsRegistry* metrics() { return nullptr; }
 };
 
 /// Wiring handed to each layer: where its output messages go.
@@ -68,6 +77,8 @@ class LayerContext {
   void cancel_timer(TimerId id) { services_->cancel_timer(id); }
   Rng& rng() { return services_->rng(); }
   void consume_cpu(Duration d) { services_->consume_cpu(d); }
+  Tracer& tracer() { return services_->tracer(); }
+  MetricsRegistry* metrics() { return services_->metrics(); }
 
   /// Index of this process in the member list (ring position).
   std::size_t self_index() const;

@@ -1,12 +1,25 @@
 #include "stack/stack.hpp"
 
+#include "telemetry/hub.hpp"
 #include "util/log.hpp"
 
 namespace msw {
 
 Stack::Stack(Network& net, NodeId self, std::vector<NodeId> members,
-             std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture)
+             std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture,
+             TelemetryHub* hub)
     : endpoint_(net, self), members_(std::move(members)), rng_(rng), capture_(capture) {
+  if (hub != nullptr) {
+    tracer_ = &hub->tracer(self.v);
+    metrics_ = &hub->node_metrics(self.v);
+    metrics_->attach_counter("app.sent", &next_seq_);
+    metrics_->attach_counter("app.delivered", &delivered_);
+    n_app_send_ = tracer_->intern("app.send");
+    n_app_deliver_ = tracer_->intern("app.deliver");
+  } else {
+    tracer_ = &Tracer::disabled();
+    metrics_ = nullptr;
+  }
   chain_ = std::make_unique<LayerChain>(
       *this, std::move(layers), [this](Message m) { to_network(std::move(m)); },
       [this](Message m) { to_app(std::move(m)); });
@@ -17,6 +30,7 @@ void Stack::start() { chain_->start(); }
 
 void Stack::send(Bytes body) {
   const MsgId id{self().v, next_seq_++, MsgId::Kind::kData};
+  tracer_->instant(n_app_send_, TelemetryTrack::kData, id.seq);
   if (capture_ != nullptr) capture_->record_send(self(), id, body, now());
   Message m = Message::group(std::move(body));
   AppHeader::push(m, AppHeader{AppHeader::Kind::kData, id.sender, id.seq});
@@ -42,6 +56,7 @@ void Stack::to_app(Message m) {
   const MsgId id{h.sender, h.seq,
                  h.kind == AppHeader::Kind::kView ? MsgId::Kind::kView : MsgId::Kind::kData};
   ++delivered_;
+  tracer_->instant(n_app_deliver_, TelemetryTrack::kData, id.seq);
   if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data.view(), now());
   if (on_deliver_) on_deliver_(id, m.data.view());
 }

@@ -15,6 +15,8 @@
 
 namespace msw {
 
+class TelemetryHub;
+
 /// Application-side delivery callback. For ordinary messages `id.kind` is
 /// kData and `body` is the payload; membership layers may also deliver
 /// view notifications (kind kView, body = encoded member list). The body
@@ -26,8 +28,11 @@ class Stack : public Services {
  public:
   /// `self` must already exist on `net`. `members` is the full group
   /// (including self), identical at every member.
+  /// `hub`, when given, wires this node's Tracer and MetricsRegistry into
+  /// the simulation's telemetry plane; layers reach them via Services.
   Stack(Network& net, NodeId self, std::vector<NodeId> members,
-        std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture = nullptr);
+        std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture = nullptr,
+        TelemetryHub* hub = nullptr);
 
   Stack(const Stack&) = delete;
   Stack& operator=(const Stack&) = delete;
@@ -56,6 +61,8 @@ class Stack : public Services {
   void cancel_timer(TimerId id) override { endpoint_.cancel_timer(id); }
   Rng& rng() override { return rng_; }
   void consume_cpu(Duration d) override { endpoint_.network().consume_cpu(self(), d); }
+  Tracer& tracer() override { return *tracer_; }
+  MetricsRegistry* metrics() override { return metrics_; }
 
   LayerChain& chain() { return *chain_; }
   Endpoint& endpoint() { return endpoint_; }
@@ -69,6 +76,10 @@ class Stack : public Services {
   std::vector<NodeId> members_;
   Rng rng_;
   TraceCapture* capture_;
+  Tracer* tracer_;            // never null; the disabled singleton without a hub
+  MetricsRegistry* metrics_;  // null without a hub
+  std::uint32_t n_app_send_ = 0;
+  std::uint32_t n_app_deliver_ = 0;
   std::unique_ptr<LayerChain> chain_;
   DeliverFn on_deliver_;
   std::uint64_t next_seq_ = 0;

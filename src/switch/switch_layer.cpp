@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace msw {
@@ -35,6 +36,28 @@ SwitchLayer::~SwitchLayer() = default;
 
 void SwitchLayer::start() {
   Services* services = ctx().services();
+  tr_ = &services->tracer();
+  tr_->set_epoch(epoch_);
+  n_sp_switch_ = tr_->intern("sp.switch");
+  n_rot_prepare_ = tr_->intern("sp.rotation.prepare");
+  n_rot_switch_ = tr_->intern("sp.rotation.switch");
+  n_rot_flush_ = tr_->intern("sp.rotation.flush");
+  n_local_ = tr_->intern("sp.switch.local");
+  n_ph_prepare_ = tr_->intern("sp.phase.prepare");
+  n_ph_drain_ = tr_->intern("sp.phase.drain");
+  n_ph_release_ = tr_->intern("sp.phase.release");
+  n_tok_forward_ = tr_->intern("sp.token.forward");
+  n_tok_retx_ = tr_->intern("sp.token.retransmit");
+  n_stale_ = tr_->intern("sp.stale_drop");
+  n_buf_ = tr_->intern("sp.buffer.enqueue");
+  if (MetricsRegistry* reg = services->metrics()) {
+    reg->attach_counter("sp.switches_completed", &stats_.switches_completed);
+    reg->attach_counter("sp.switches_initiated", &stats_.switches_initiated);
+    reg->attach_counter("sp.token_hops", &stats_.token_hops);
+    reg->attach_counter("sp.token_retransmissions", &stats_.token_retransmissions);
+    reg->attach_counter("sp.stale_dropped", &stats_.stale_dropped);
+    reg->attach_counter("sp.max_buffered", &stats_.max_buffered);
+  }
   chain_a_ = std::make_unique<LayerChain>(
       *services, std::move(layers_a_),
       [this](Message m) {
@@ -65,6 +88,36 @@ void SwitchLayer::start() {
 
 Layer& SwitchLayer::sub_layer(int protocol, std::size_t i) {
   return chain(protocol).layer(i);
+}
+
+// --------------------------------------------------------------------------
+// Telemetry helpers: rotation spans on the control track, phase spans on
+// the data track. Both tracks keep strict begin/end nesting so the Chrome
+// exporter renders them as clean nested slices.
+// --------------------------------------------------------------------------
+
+void SwitchLayer::trace_rotation(std::uint32_t name, std::uint64_t arg) {
+  if (open_rotation_ != 0) {
+    tr_->end(open_rotation_, TelemetryTrack::kControl);
+  } else {
+    // First rotation seen for this switch on this node: open the enclosing
+    // whole-switch span.
+    tr_->begin(n_sp_switch_, TelemetryTrack::kControl, arg);
+  }
+  tr_->begin(name, TelemetryTrack::kControl, arg);
+  open_rotation_ = name;
+}
+
+void SwitchLayer::trace_rotation_done(bool close_switch) {
+  if (open_rotation_ == 0) return;
+  tr_->end(open_rotation_, TelemetryTrack::kControl);
+  open_rotation_ = 0;
+  if (close_switch) tr_->end(n_sp_switch_, TelemetryTrack::kControl);
+}
+
+void SwitchLayer::trace_counts_arrived() {
+  tr_->end(n_ph_prepare_, TelemetryTrack::kData);
+  tr_->begin(n_ph_drain_, TelemetryTrack::kData);
 }
 
 // --------------------------------------------------------------------------
@@ -146,12 +199,14 @@ void SwitchLayer::on_subprotocol_deliver(int protocol, Message m) {
     // The sender has already moved on; we are still draining. Buffer in
     // arrival order, which is the new protocol's delivery order.
     buffered_next_.push_back(BufferedDeliver{sender, std::move(m)});
+    tr_->instant(n_buf_, TelemetryTrack::kData, buffered_next_.size());
     stats_.max_buffered = std::max(stats_.max_buffered,
                                    static_cast<std::uint64_t>(buffered_next_.size()));
   } else {
     // Older epochs: late retransmissions, already delivered before we
     // switched — the at-most-once assumption makes these safe to drop.
     ++stats_.stale_dropped;
+    tr_->instant(n_stale_, TelemetryTrack::kData, epoch);
   }
 }
 
@@ -175,7 +230,9 @@ void SwitchLayer::maybe_complete_switch() {
 }
 
 void SwitchLayer::complete_local_switch() {
+  tr_->end(n_ph_drain_, TelemetryTrack::kData);
   ++epoch_;
+  tr_->set_epoch(epoch_);
   sent_this_epoch_ = sent_next_epoch_;
   sent_next_epoch_ = 0;
   delivered_this_epoch_.clear();
@@ -192,12 +249,18 @@ void SwitchLayer::complete_local_switch() {
   // Release new-epoch deliveries in the new protocol's order.
   std::vector<BufferedDeliver> buffered = std::move(buffered_next_);
   buffered_next_.clear();
+  tr_->begin(n_ph_release_, TelemetryTrack::kData, buffered.size());
   for (auto& b : buffered) deliver_counted(b.sender, std::move(b.m));
+  tr_->end(n_ph_release_, TelemetryTrack::kData, buffered.size());
+  tr_->end(n_local_, TelemetryTrack::kData);
 
   if (held_flush_) {
     Token flush = std::move(*held_flush_);
     held_flush_.reset();
     forward_token(std::move(flush));
+    // The FLUSH has left this node; unless we initiated (and so await its
+    // return), the switch is over here — close the rotation spans.
+    if (!i_am_initiator_) trace_rotation_done(/*close_switch=*/true);
   }
 }
 
@@ -277,6 +340,8 @@ void SwitchLayer::on_token(Token t, NodeId from) {
 void SwitchLayer::begin_prepare_local() {
   prepared_ = true;
   local_switch_started_ = ctx().now();
+  tr_->begin(n_local_, TelemetryTrack::kData, epoch_);
+  tr_->begin(n_ph_prepare_, TelemetryTrack::kData, epoch_);
   // sent_this_epoch_ is now frozen: subsequent sends count toward the next
   // epoch and travel on the new protocol.
 }
@@ -302,6 +367,7 @@ void SwitchLayer::handle_token(Token t) {
         t.epoch = epoch_;
         t.initiator = self;
         t.counts.assign(ctx().member_count(), 0);
+        trace_rotation(n_rot_prepare_, epoch_);
         begin_prepare_local();
         t.counts[ctx().self_index()] = sent_this_epoch_;
         forward_token(std::move(t));
@@ -322,11 +388,14 @@ void SwitchLayer::handle_token(Token t) {
         t.mode = TokenMode::kSwitch;
         counts_ = t.counts;
         have_counts_ = true;
+        trace_rotation(n_rot_switch_, t.epoch);
+        trace_counts_arrived();
         forward_token(std::move(t));
         maybe_complete_switch();
         return;
       }
       if (t.epoch == epoch_ && !prepared_) {
+        trace_rotation(n_rot_prepare_, t.epoch);
         begin_prepare_local();
         t.counts[ctx().self_index()] = sent_this_epoch_;
       }
@@ -341,6 +410,7 @@ void SwitchLayer::handle_token(Token t) {
         // until it switches and t.epoch + 1 after, so the wrap-safe test
         // for "switched" is inequality, not ordering.
         t.mode = TokenMode::kFlush;
+        trace_rotation(n_rot_flush_, t.epoch);
         if (epoch_ != t.epoch) {
           forward_token(std::move(t));
         } else {
@@ -350,7 +420,10 @@ void SwitchLayer::handle_token(Token t) {
       }
       if (t.epoch == epoch_ && prepared_) {
         counts_ = t.counts;
+        const bool counts_were_new = !have_counts_;
         have_counts_ = true;
+        trace_rotation(n_rot_switch_, t.epoch);
+        if (counts_were_new) trace_counts_arrived();
       }
       forward_token(std::move(t));
       maybe_complete_switch();
@@ -361,6 +434,7 @@ void SwitchLayer::handle_token(Token t) {
       if (t.initiator == self) {
         // The FLUSH made it through every member: the switch has truly
         // completed at each member (paper section 2).
+        trace_rotation_done(/*close_switch=*/true);
         stats_.last_switch_duration = ctx().now() - switch_started_;
         stats_.switch_durations.add(to_ms(stats_.last_switch_duration));
         i_am_initiator_ = false;
@@ -374,10 +448,13 @@ void SwitchLayer::handle_token(Token t) {
         forward_token(std::move(t));
         return;
       }
+      trace_rotation(n_rot_flush_, t.epoch);
       if (epoch_ != t.epoch) {
         forward_token(std::move(t));
+        trace_rotation_done(/*close_switch=*/true);
       } else {
-        // Still draining; forward once the local switch completes.
+        // Still draining; forward once the local switch completes (which
+        // also closes the flush rotation span).
         held_flush_ = std::move(t);
       }
       return;
@@ -388,6 +465,7 @@ void SwitchLayer::handle_token(Token t) {
 void SwitchLayer::forward_token(Token t, bool count_hop) {
   if (count_hop) ++stats_.token_hops;
   ++t.serial;
+  tr_->instant(n_tok_forward_, TelemetryTrack::kControl, t.serial);
   outstanding_serial_ = t.serial;
   outstanding_bytes_ = encode_token(t);
   Message m = Message::p2p(ctx().ring_successor(), outstanding_bytes_);
@@ -400,6 +478,7 @@ void SwitchLayer::arm_token_retransmit(std::uint64_t serial) {
   ctx().set_timer(cfg_.token_rto, [this, serial] {
     if (outstanding_serial_ != serial) return;  // acked meanwhile
     ++stats_.token_retransmissions;
+    tr_->instant(n_tok_retx_, TelemetryTrack::kControl, serial);
     Message m = Message::p2p(ctx().ring_successor(), outstanding_bytes_);
     Mux::push(m, kChanControl);
     ctx().send_down(std::move(m));

@@ -207,6 +207,25 @@ class SwitchLayer : public Layer {
   mutable std::map<std::uint32_t, Time> last_seen_sender_;
   std::function<void(std::uint64_t)> epoch_tap_;
 
+  // --- telemetry -------------------------------------------------------
+  /// Counts arrived (initiator: PREPARE returned; member: SWITCH token):
+  /// close the prepare phase span and open the drain phase span.
+  void trace_counts_arrived();
+  /// Open the per-node rotation span `name` on the control track, closing
+  /// whichever rotation span is currently open (they are sequential).
+  void trace_rotation(std::uint32_t name, std::uint64_t arg);
+  /// Close the open rotation span and, when `close_switch`, the enclosing
+  /// sp.switch span (FLUSH left this node: the switch is over here).
+  void trace_rotation_done(bool close_switch);
+
+  Tracer* tr_ = &Tracer::disabled();  // cached from Services in start()
+  std::uint32_t n_sp_switch_ = 0;     // control track: whole switch, per node
+  std::uint32_t n_rot_prepare_ = 0, n_rot_switch_ = 0, n_rot_flush_ = 0;
+  std::uint32_t n_local_ = 0;         // data track: local switchover
+  std::uint32_t n_ph_prepare_ = 0, n_ph_drain_ = 0, n_ph_release_ = 0;
+  std::uint32_t n_tok_forward_ = 0, n_tok_retx_ = 0, n_stale_ = 0, n_buf_ = 0;
+  std::uint32_t open_rotation_ = 0;   // interned name of the open rotation span
+
   Stats stats_;
 };
 

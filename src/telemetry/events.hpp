@@ -1,0 +1,100 @@
+// Typed telemetry events and the bounded per-node ring that stores them.
+//
+// An event is 40 bytes of plain data: simulated timestamp, node id, node
+// incarnation, SP epoch, an interned name id, a track, a kind, and one
+// free argument. Names are interned once at wiring time in a NameTable
+// shared across the whole simulation, so the hot path never touches a
+// string.
+//
+// The ring is bounded (flight-recorder semantics): when full, the oldest
+// event is overwritten and a drop counter advances. Everything a crashed
+// run needs to explain itself is the tail of the ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace msw {
+
+enum class EventKind : std::uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
+
+/// Rendering track within a node. Spans on one track are emitted strictly
+/// nested (or zero-duration), so exporters can pair begin/end with a stack.
+enum class TelemetryTrack : std::uint8_t {
+  kData = 0,        // data-path phases (SP drain, buffer release, ...)
+  kControl = 1,     // control traffic (token rotations, NACKs, ...)
+  kMembership = 2,  // view changes / flushes
+};
+
+struct TelemetryEvent {
+  Time t = 0;
+  std::uint64_t epoch = 0;        // SP epoch at emission
+  std::uint64_t incarnation = 0;  // node incarnation (bumped by crashes)
+  std::uint64_t arg = 0;          // event-specific payload (count, seq, ...)
+  std::uint32_t name = 0;         // NameTable id
+  std::uint32_t node = 0;
+  EventKind kind = EventKind::kInstant;
+  TelemetryTrack track = TelemetryTrack::kData;
+};
+
+/// Interns event names to dense u32 ids. Shared by every tracer of a run so
+/// the merged export resolves ids uniformly. Interning happens at layer
+/// start-up; lookup order never affects export order (ids are positional).
+class NameTable {
+ public:
+  std::uint32_t intern(std::string_view name) {
+    const auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    names_.emplace_back(name);
+    const auto id = static_cast<std::uint32_t>(names_.size() - 1);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  std::string_view name(std::uint32_t id) const {
+    return id < names_.size() ? std::string_view(names_[id]) : std::string_view("?");
+  }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+/// Bounded ring of TelemetryEvents; overwrites the oldest when full.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const TelemetryEvent& e) {
+    if (size_ < buf_.size()) {
+      buf_[(head_ + size_) % buf_.size()] = e;
+      ++size_;
+    } else {
+      buf_[head_] = e;
+      head_ = (head_ + 1) % buf_.size();
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  /// Events overwritten since the ring filled up.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// i-th surviving event, oldest first.
+  const TelemetryEvent& at(std::size_t i) const { return buf_[(head_ + i) % buf_.size()]; }
+
+ private:
+  std::vector<TelemetryEvent> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace msw

@@ -1,0 +1,51 @@
+// Exporters for the telemetry plane.
+//
+// Three formats, all deterministic for a given run (events are ordered by
+// (sim time, node, ring position) and metric listings by registration
+// order), so two identical seeded runs produce byte-identical output:
+//
+//   - JSONL: one JSON object per event — the machine-diffable dump and the
+//     flight-recorder format;
+//   - Chrome trace_event JSON: open in Perfetto / chrome://tracing; each
+//     node renders as a process, each TelemetryTrack as a named thread,
+//     spans as complete ("X") events, instants as "i";
+//   - metrics: a JSON document (global + per-node + aggregate) and a
+//     one-line human summary.
+//
+// Span pairing: spans are emitted strictly nested per (node, track), so a
+// stack suffices. A Begin still open at export time becomes a span clamped
+// to the last timestamp with "unterminated": true (node crashed or the run
+// stopped mid-phase); an End whose Begin was overwritten in the bounded
+// ring becomes a zero-length span flagged "orphan": true.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "telemetry/hub.hpp"
+
+namespace msw {
+
+/// All events of all nodes, merged and time-ordered, one JSON object per
+/// line. `last_n_per_node` 0 = everything; >0 keeps only each node's most
+/// recent N events (flight-recorder view).
+void write_events_jsonl(const TelemetryHub& hub, std::ostream& os,
+                        std::size_t last_n_per_node = 0);
+
+/// Chrome trace_event JSON (the "traceEvents" array form).
+void write_chrome_trace(const TelemetryHub& hub, std::ostream& os);
+
+/// Metrics as JSON: {"global": {...}, "nodes": {"0": {...}, ...},
+/// "aggregate": {...}}. Histograms expand to count/mean/p50/p99/max.
+void write_metrics_json(const TelemetryHub& hub, std::ostream& os);
+
+/// One-line human summary of the aggregate registry (top counters).
+std::string metrics_summary_line(const TelemetryHub& hub);
+
+/// Flight record: a header line ({"flight_recorder": ..., "reason": ...})
+/// followed by the last `last_n_per_node` events per node in JSONL form.
+void write_flight_record(const TelemetryHub& hub, std::ostream& os, const std::string& reason,
+                         std::size_t last_n_per_node = 256);
+
+}  // namespace msw

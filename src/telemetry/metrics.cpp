@@ -1,0 +1,120 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace msw {
+
+void MetricsRegistry::Histogram::record(std::uint64_t v) {
+  const auto bucket = static_cast<std::size_t>(std::bit_width(v));  // 0 -> 0, else 1+log2
+  buckets_[std::min(bucket, kBuckets - 1)] += 1;
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double MetricsRegistry::Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double first = static_cast<double>(below);
+    const double last = static_cast<double>(below + buckets_[b] - 1);
+    if (target <= last) {
+      // Interpolate within [lo, hi), the value range this bucket covers,
+      // clamped to the observed extremes.
+      const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double hi = b == 0 ? 1.0 : lo * 2.0;
+      const double frac =
+          buckets_[b] == 1 ? 0.0 : (target - first) / static_cast<double>(buckets_[b] - 1);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min()), static_cast<double>(max_));
+    }
+    below += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string MetricsRegistry::unique_name(std::string_view name) {
+  std::string candidate(name);
+  int suffix = 2;
+  while (by_name_.count(candidate) != 0) {
+    candidate = std::string(name) + "#" + std::to_string(suffix++);
+  }
+  return candidate;
+}
+
+std::size_t MetricsRegistry::add_entry(std::string_view name, Kind kind, std::size_t index) {
+  entries_.push_back(Entry{std::string(name), kind, index});
+  by_name_.emplace(entries_.back().name, entries_.size() - 1);
+  return entries_.size() - 1;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && entries_[it->second].kind == Kind::kCounter) {
+    return counters_[entries_[it->second].index];
+  }
+  counters_.emplace_back();
+  add_entry(it == by_name_.end() ? std::string(name) : unique_name(name), Kind::kCounter,
+            counters_.size() - 1);
+  return counters_.back();
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && entries_[it->second].kind == Kind::kGauge) {
+    return gauges_[entries_[it->second].index];
+  }
+  gauges_.emplace_back();
+  add_entry(it == by_name_.end() ? std::string(name) : unique_name(name), Kind::kGauge,
+            gauges_.size() - 1);
+  return gauges_.back();
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end() && entries_[it->second].kind == Kind::kHistogram) {
+    return histograms_[entries_[it->second].index];
+  }
+  histograms_.emplace_back();
+  add_entry(it == by_name_.end() ? std::string(name) : unique_name(name), Kind::kHistogram,
+            histograms_.size() - 1);
+  return histograms_.back();
+}
+
+void MetricsRegistry::attach_counter(std::string_view name, const std::uint64_t* src) {
+  externals_.push_back(src);
+  add_entry(unique_name(name), Kind::kExternal, externals_.size() - 1);
+}
+
+double MetricsRegistry::value_of(const Entry& e) const {
+  switch (e.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(counters_[e.index].value());
+    case Kind::kGauge:
+      return static_cast<double>(gauges_[e.index].value());
+    case Kind::kHistogram:
+      return static_cast<double>(histograms_[e.index].count());
+    case Kind::kExternal:
+      return static_cast<double>(*externals_[e.index]);
+  }
+  return 0.0;
+}
+
+void MetricsRegistry::aggregate(const MetricsRegistry& other) {
+  for (const Entry& e : other.entries()) {
+    if (e.kind == Kind::kGauge || e.kind == Kind::kHistogram) continue;
+    // Strip any "#k" de-duplication suffix so both instances of one layer
+    // type fold into a single total.
+    std::string name = e.name;
+    const auto hash = name.rfind('#');
+    if (hash != std::string::npos) name.resize(hash);
+    counter(name).inc(static_cast<std::uint64_t>(other.value_of(e)));
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,134 @@
+// Per-node metrics registry: named counters / gauges / histograms with
+// allocation-free hot-path handles.
+//
+// A MetricsRegistry is the single export sink for a node's (or the
+// simulation's) counters. Instruments are created once — by name, at wiring
+// time — and the returned reference is a stable handle: recording through
+// it is a plain integer operation with no lookup, lock, or allocation.
+// Existing hand-rolled counter blobs (NetStats, per-layer Stats structs)
+// plug in through attach_counter(), which registers a *view* of an external
+// std::uint64_t so the hot path that already increments the field pays
+// nothing extra and exporters still see one uniform namespace.
+//
+// Enumeration order is registration order, which is construction order and
+// therefore deterministic for a given build — two identical seeded runs
+// export byte-identical metric listings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace msw {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic event count.
+  class Counter {
+   public:
+    void inc(std::uint64_t n = 1) { v_ += n; }
+    std::uint64_t value() const { return v_; }
+
+   private:
+    std::uint64_t v_ = 0;
+  };
+
+  /// Instantaneous level (buffer depth, queue length) with a high-water mark.
+  class Gauge {
+   public:
+    void set(std::int64_t v) {
+      v_ = v;
+      if (v > max_) max_ = v;
+    }
+    void add(std::int64_t d) { set(v_ + d); }
+    std::int64_t value() const { return v_; }
+    std::int64_t max() const { return max_; }
+
+   private:
+    std::int64_t v_ = 0;
+    std::int64_t max_ = 0;
+  };
+
+  /// Fixed-footprint log2-bucketed histogram of unsigned samples
+  /// (durations in microseconds, sizes in bytes). record() is branch-free
+  /// bucket arithmetic; percentiles are estimated by interpolating within
+  /// the containing bucket.
+  class Histogram {
+   public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void record(std::uint64_t v);
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+    /// p in [0,100]; estimate by rank over buckets, linear within a bucket.
+    double percentile(double p) const;
+    double p50() const { return percentile(50.0); }
+    double p99() const { return percentile(99.0); }
+    const std::uint64_t* buckets() const { return buckets_; }
+
+   private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+  };
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kExternal };
+
+  /// One registered instrument, in registration order.
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::size_t index;  // into the matching instrument pool
+  };
+
+  /// Create-or-get by name. Returned references are stable for the life of
+  /// the registry (instruments live in deques).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Register a read-only view of an external counter field (e.g. a
+  /// NetStats or layer-Stats member). `src` must outlive the registry's
+  /// exports. Duplicate names get a deterministic "#2", "#3"... suffix so
+  /// two instances of one layer type in a stack stay distinguishable.
+  void attach_counter(std::string_view name, const std::uint64_t* src);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Current value of an entry, flattened to a double (counters/externals:
+  /// the count; gauges: the level; histograms: the sample count).
+  double value_of(const Entry& e) const;
+  const Histogram* histogram_of(const Entry& e) const {
+    return e.kind == Kind::kHistogram ? &histograms_[e.index] : nullptr;
+  }
+  const Gauge* gauge_of(const Entry& e) const {
+    return e.kind == Kind::kGauge ? &gauges_[e.index] : nullptr;
+  }
+
+  /// Sum every counter-like entry of `other` into same-named counters here
+  /// (creating them as needed) — per-Simulation aggregation over per-node
+  /// registries.
+  void aggregate(const MetricsRegistry& other);
+
+ private:
+  std::size_t add_entry(std::string_view name, Kind kind, std::size_t index);
+  std::string unique_name(std::string_view name);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<const std::uint64_t*> externals_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> by_name_;  // name -> entries_ index
+};
+
+}  // namespace msw

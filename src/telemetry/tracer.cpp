@@ -1,0 +1,38 @@
+#include "telemetry/tracer.hpp"
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace msw {
+
+Tracer& Tracer::disabled() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::configure(NameTable* names, const Scheduler* clock, std::uint32_t node,
+                       const Network* net) {
+  names_ = names;
+  clock_ = clock;
+  node_ = node;
+  net_ = net;
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  ring_ = std::make_unique<EventRing>(ring_capacity);
+}
+
+void Tracer::emit(EventKind kind, std::uint32_t name, TelemetryTrack track, std::uint64_t arg) {
+  TelemetryEvent e;
+  e.t = clock_ ? clock_->now() : 0;
+  e.epoch = epoch_;
+  e.incarnation = net_ ? net_->incarnation(NodeId{node_}) : 0;
+  e.arg = arg;
+  e.name = name;
+  e.node = node_;
+  e.kind = kind;
+  e.track = track;
+  ring_->push(e);
+}
+
+}  // namespace msw

@@ -260,5 +260,56 @@ TEST(Network, JitterVariesArrivals) {
   EXPECT_TRUE(varied);
 }
 
+TEST(Network, InjectedDuplicatesCountTowardWireBytes) {
+  // Regression: duplicated copies occupy the wire like any other copy, so
+  // bytes_on_wire must grow by payload + overhead per duplicate.
+  struct AlwaysDuplicate : FaultInjector {
+    CopyPlan on_copy(NodeId, NodeId, Time) override {
+      CopyPlan p;
+      p.duplicate = true;
+      return p;
+    }
+  };
+  NetConfig cfg = fast_config();
+  cfg.wire_overhead_bytes = 10;
+  Fixture f(cfg);
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  int got = 0;
+  f.net.set_handler(b, [&](Packet) { ++got; });
+  AlwaysDuplicate dup;
+  f.net.set_fault_injector(&dup);
+  f.net.send(a, b, to_bytes("12345"));  // 5 payload bytes
+  f.sim.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(f.net.stats().copies_duplicated, 1u);
+  EXPECT_EQ(f.net.stats().bytes_on_wire, 2u * (5 + 10));
+}
+
+TEST(Network, DeliveryLatencySampledWhenEnabled) {
+  NetConfig cfg = fast_config();
+  cfg.sample_delivery_latency = true;
+  Fixture f(cfg);
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.set_handler(b, [](Packet) {});
+  f.net.send(a, b, to_bytes("x"));
+  f.sim.run();
+  ASSERT_EQ(f.net.stats().delivery_latency_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(f.net.stats().delivery_latency_ms.max(), 1.0);  // base_latency 1 ms
+  EXPECT_NE(f.net.stats().summary().find("latency_ms(p50/p99/max)"), std::string::npos);
+}
+
+TEST(Network, DeliveryLatencyNotSampledByDefault) {
+  Fixture f(fast_config());
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.set_handler(b, [](Packet) {});
+  f.net.send(a, b, to_bytes("x"));
+  f.sim.run();
+  EXPECT_TRUE(f.net.stats().delivery_latency_ms.empty());
+  EXPECT_EQ(f.net.stats().summary().find("latency_ms"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msw

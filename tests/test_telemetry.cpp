@@ -1,0 +1,311 @@
+// Telemetry plane: metrics registry, event rings, span tracing, exporters,
+// and the flight recorder (src/telemetry/, DESIGN.md section 9).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/fuzz.hpp"
+#include "helpers.hpp"
+#include "switch/hybrid.hpp"
+#include "telemetry/export.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+LayerFactory hybrid() { return make_hybrid_total_order_factory(); }
+
+SwitchLayer& sl(GroupHarness& h, std::size_t i) { return switch_layer_of(h.group.stack(i)); }
+
+void run_until_epoch(GroupHarness& h, std::uint64_t epoch, Duration deadline = 10 * kSecond) {
+  const Time stop = h.sim.now() + deadline;
+  while (h.sim.now() < stop) {
+    h.sim.run_for(10 * kMillisecond);
+    bool all = true;
+    for (std::size_t i = 0; i < h.group.size(); ++i) {
+      if (sl(h, i).epoch() < epoch || sl(h, i).switching()) all = false;
+    }
+    if (all) return;
+  }
+  FAIL() << "group did not reach epoch " << epoch;
+}
+
+/// Sum of every same-named entry in the aggregate view.
+double agg_value(const MetricsRegistry& reg, std::string_view name) {
+  double total = 0;
+  for (const auto& e : reg.entries()) {
+    if (e.name == name) total += reg.value_of(e);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterGaugeHistogram) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.counter("c").inc(4);
+  EXPECT_EQ(reg.counter("c").value(), 5u);
+
+  reg.gauge("g").set(7);
+  reg.gauge("g").add(-3);
+  EXPECT_EQ(reg.gauge("g").value(), 4);
+  EXPECT_EQ(reg.gauge("g").max(), 7);
+
+  auto& h = reg.histogram("h");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  // log2 buckets + interpolation: coarse, but the median must land in the
+  // right half-decade and percentiles must be monotone.
+  EXPECT_GT(h.p50(), 20.0);
+  EXPECT_LT(h.p50(), 80.0);
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), static_cast<double>(h.max()) + 1);
+
+  // Registration order is enumeration order.
+  ASSERT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.entries()[0].name, "c");
+  EXPECT_EQ(reg.entries()[1].name, "g");
+  EXPECT_EQ(reg.entries()[2].name, "h");
+}
+
+TEST(MetricsRegistry, ExternalViewsDedupWithStableSuffix) {
+  MetricsRegistry reg;
+  std::uint64_t a = 11, b = 22;
+  reg.attach_counter("layer.hits", &a);
+  reg.attach_counter("layer.hits", &b);  // second instance of the layer
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.entries()[0].name, "layer.hits");
+  EXPECT_EQ(reg.entries()[1].name, "layer.hits#2");
+  a = 100;
+  EXPECT_EQ(reg.value_of(reg.entries()[0]), 100.0);  // live view, not a copy
+  EXPECT_EQ(reg.value_of(reg.entries()[1]), 22.0);
+}
+
+TEST(MetricsRegistry, AggregateSumsAcrossRegistries) {
+  MetricsRegistry a, b, total;
+  a.counter("x").inc(3);
+  b.counter("x").inc(4);
+  std::uint64_t ext = 10;
+  b.attach_counter("y", &ext);
+  total.aggregate(a);
+  total.aggregate(b);
+  EXPECT_EQ(agg_value(total, "x"), 7.0);
+  EXPECT_EQ(agg_value(total, "y"), 10.0);
+}
+
+// -------------------------------------------------------------- event ring
+
+TEST(EventRing, WrapsAroundKeepingNewest) {
+  EventRing ring(4);
+  for (std::uint64_t k = 0; k < 7; ++k) {
+    TelemetryEvent e;
+    e.arg = k;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  // Oldest surviving event is the 4th pushed (args 0..2 overwritten).
+  EXPECT_EQ(ring.at(0).arg, 3u);
+  EXPECT_EQ(ring.at(3).arg, 6u);
+}
+
+TEST(EventRing, ZeroCapacityClampsToOne) {
+  EventRing ring(0);
+  TelemetryEvent e;
+  ring.push(e);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.capacity(), 1u);
+}
+
+// ------------------------------------------------------------- hub / tracer
+
+TEST(TelemetryHub, TracingOffByDefaultButMetricsLive) {
+  GroupHarness h(3, hybrid());
+  sl(h, 1).request_switch();
+  run_until_epoch(h, 1);
+  // No rings were armed: every emit was a single-branch no-op.
+  EXPECT_FALSE(h.sim.telemetry().tracing());
+  EXPECT_EQ(h.sim.telemetry().total_events(), 0u);
+  // Metrics attach at wiring time regardless and see the finished switch.
+  const MetricsRegistry agg = h.sim.telemetry().aggregate_metrics();
+  EXPECT_EQ(agg_value(agg, "sp.switches_completed"), 3.0);
+  EXPECT_EQ(agg_value(agg, "sp.switches_initiated"), 1.0);
+  EXPECT_GT(agg_value(agg, "net.copies_delivered"), 0.0);
+  EXPECT_GT(agg_value(agg, "sched.executed"), 0.0);
+}
+
+TEST(Tracer, DisabledSingletonIsInert) {
+  Tracer& t = Tracer::disabled();
+  EXPECT_EQ(t.intern("anything"), 0u);
+  t.begin(0);
+  t.instant(0);
+  t.end(0);
+  EXPECT_EQ(t.ring(), nullptr);
+}
+
+// ------------------------------------------------------ switch-phase spans
+
+TEST(SwitchSpans, AllThreeRotationsNestUnderSwitchOnEveryNode) {
+  GroupHarness h(3, hybrid());
+  h.sim.enable_tracing();
+  sl(h, 1).request_switch();
+  run_until_epoch(h, 1);
+  // Members finish one hop before the FLUSH returns to the initiator,
+  // which is what closes its flush/switch spans — let the token drain.
+  h.sim.run_for(50 * kMillisecond);
+
+  const TelemetryHub& hub = h.sim.telemetry();
+  const NameTable& names = hub.names();
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    const Tracer* tr = hub.find_tracer(node);
+    ASSERT_NE(tr, nullptr) << "node " << node;
+    const EventRing* ring = tr->ring();
+    ASSERT_NE(ring, nullptr) << "node " << node;
+
+    bool saw_prepare = false, saw_switch = false, saw_flush = false;
+    std::vector<std::string> stack;  // open control-track spans
+    for (std::size_t i = 0; i < ring->size(); ++i) {
+      const TelemetryEvent& e = ring->at(i);
+      if (e.track != TelemetryTrack::kControl) continue;
+      const std::string nm(names.name(e.name));
+      if (e.kind == EventKind::kBegin) {
+        stack.push_back(nm);
+      } else if (e.kind == EventKind::kEnd) {
+        ASSERT_FALSE(stack.empty()) << "node " << node << ": end of " << nm << " with no begin";
+        EXPECT_EQ(stack.back(), nm) << "node " << node << ": control spans not nested";
+        if (nm == "sp.rotation.prepare" || nm == "sp.rotation.switch" ||
+            nm == "sp.rotation.flush") {
+          ASSERT_GE(stack.size(), 2u);
+          EXPECT_EQ(stack[stack.size() - 2], "sp.switch")
+              << "node " << node << ": rotation not nested in sp.switch";
+          if (nm == "sp.rotation.prepare") saw_prepare = true;
+          if (nm == "sp.rotation.switch") saw_switch = true;
+          if (nm == "sp.rotation.flush") saw_flush = true;
+        }
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "node " << node << ": control spans left open";
+    EXPECT_TRUE(saw_prepare && saw_switch && saw_flush)
+        << "node " << node << ": prepare=" << saw_prepare << " switch=" << saw_switch
+        << " flush=" << saw_flush;
+  }
+}
+
+TEST(SwitchSpans, LocalPhasesAppearOnDataTrack) {
+  GroupHarness h(3, hybrid());
+  h.sim.enable_tracing();
+  h.send_and_settle(0, to_bytes("warm"));
+  sl(h, 0).request_switch();
+  run_until_epoch(h, 1);
+  h.sim.run_for(50 * kMillisecond);  // let the FLUSH return to the initiator
+
+  const TelemetryHub& hub = h.sim.telemetry();
+  std::ostringstream os;
+  write_chrome_trace(hub, os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  for (const char* nm : {"sp.switch.local", "sp.phase.prepare", "sp.phase.drain",
+                         "sp.phase.release", "sp.rotation.prepare", "sp.rotation.switch",
+                         "sp.rotation.flush"}) {
+    EXPECT_NE(trace.find(nm), std::string::npos) << nm << " missing from Chrome trace";
+  }
+  // A finished run must not need the exporter's crash clamps.
+  EXPECT_EQ(trace.find("unterminated"), std::string::npos);
+  EXPECT_EQ(trace.find("orphan"), std::string::npos);
+}
+
+// ----------------------------------------------------- span-pairing repair
+
+TEST(ChromeExport, OpenSpanAtExportIsClampedUnterminated) {
+  Simulation sim(1);
+  sim.enable_tracing(8);
+  Tracer& tr = sim.telemetry().tracer(0);
+  const std::uint32_t id = tr.intern("crashed.phase");
+  tr.begin(id);  // node dies mid-phase: no matching end
+  std::ostringstream os;
+  write_chrome_trace(sim.telemetry(), os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("crashed.phase"), std::string::npos);
+  EXPECT_NE(trace.find("unterminated"), std::string::npos);
+}
+
+TEST(ChromeExport, EndWithOverwrittenBeginIsOrphan) {
+  Simulation sim(1);
+  sim.enable_tracing(2);  // tiny ring: the begin gets overwritten
+  Tracer& tr = sim.telemetry().tracer(0);
+  const std::uint32_t span = tr.intern("long.span");
+  const std::uint32_t tick = tr.intern("tick");
+  tr.begin(span);
+  tr.instant(tick);
+  tr.instant(tick);  // ring full: overwrites the begin
+  tr.end(span);
+  EXPECT_EQ(tr.ring()->dropped(), 2u);
+  std::ostringstream os;
+  write_chrome_trace(sim.telemetry(), os);
+  EXPECT_NE(os.str().find("orphan"), std::string::npos);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(TelemetryExport, IdenticalSeededRunsProduceIdenticalBytes) {
+  FuzzConfig cfg;
+  cfg.capture_telemetry = true;
+  const FuzzIteration a = run_fuzz_iteration(42, cfg);
+  const FuzzIteration b = run_fuzz_iteration(42, cfg);
+  ASSERT_TRUE(a.ok) << a.reason;
+  EXPECT_FALSE(a.events_jsonl.empty());
+  EXPECT_FALSE(a.chrome_trace.empty());
+  EXPECT_FALSE(a.metrics_json.empty());
+  EXPECT_EQ(a.events_jsonl, b.events_jsonl);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.metrics_summary, b.metrics_summary);
+
+  // And a different seed diverges (the exports reflect the run, not the
+  // schema).
+  const FuzzIteration c = run_fuzz_iteration(43, cfg);
+  EXPECT_NE(a.events_jsonl, c.events_jsonl);
+}
+
+TEST(TelemetryExport, CaptureOffLeavesIterationStringsEmpty) {
+  const FuzzIteration it = run_fuzz_iteration(42, FuzzConfig{});
+  EXPECT_TRUE(it.events_jsonl.empty());
+  EXPECT_TRUE(it.chrome_trace.empty());
+  EXPECT_TRUE(it.metrics_json.empty());
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, InjectedOracleFailureProducesDump) {
+  FuzzConfig cfg;
+  cfg.inject_flush_bug = true;
+  cfg.shrink_budget = 20;  // keep the ddmin cheap; minimality is not the point here
+  FuzzIteration bad;
+  for (std::uint64_t seed = 1; seed <= 40 && bad.ok; ++seed) {
+    bad = run_fuzz_iteration(seed, cfg);
+  }
+  ASSERT_FALSE(bad.ok) << "injected drain bug never tripped the oracle";
+
+  const FuzzFailure f = shrink_failure(bad, cfg);
+  ASSERT_FALSE(f.flight_record.empty());
+  // Header line first, carrying the oracle's reason; then JSONL events.
+  EXPECT_EQ(f.flight_record.find("{\"flight_recorder\""), 0u);
+  EXPECT_NE(f.flight_record.find("\"reason\""), std::string::npos);
+  EXPECT_NE(f.flight_record.find("sp."), std::string::npos)
+      << "flight record has no SP events";
+  // The dump replays the *shrunk* schedule — the artifact that sits next to
+  // the one-line repro.
+  EXPECT_NE(f.repro.find("--schedule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msw

@@ -37,6 +37,31 @@ TEST(Summary, PercentileAfterIncrementalAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
 }
 
+TEST(Summary, PercentileInterpolatesBetweenOrderStatistics) {
+  // Quantile at fractional rank (n-1)p/100, linearly interpolated — not
+  // stepped to a single sample like the nearest-rank estimator.
+  Summary s;
+  s.add(10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(s.percentile_nearest(50), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile_nearest(75), 20.0);
+
+  Summary q;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.percentile(50), 2.5);
+}
+
+TEST(Summary, P99InterpolatesInsteadOfSnappingToMax) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  // rank = 0.99 * 99 = 98.01 -> 99 + 0.01 * (100 - 99).
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile_nearest(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
 TEST(TraceLatency, ComputesPerDeliveryLatency) {
   Trace tr;
   TraceEvent s = send_ev(0, 0);
