@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "net/network.hpp"
+#include "proto/reliable_layer.hpp"
 #include "sim/simulation.hpp"
 #include "stack/group.hpp"
 #include "switch/hybrid.hpp"
@@ -34,6 +35,7 @@ struct IterationPlan {
   std::vector<std::pair<Time, std::size_t>> switches;  // (when, initiator)
   std::uint64_t initial_epoch = 0;
   bool inject_flush_bug = false;
+  bool reliable_base = false;
   bool capture_telemetry = false;
   std::size_t telemetry_ring = 4096;
   /// When non-empty, execute() also renders a flight record with this
@@ -75,6 +77,7 @@ IterationPlan make_plan(std::uint64_t seed, const FuzzConfig& cfg) {
   }
   plan.initial_epoch = rng.chance(0.5) ? 1 : 0;
   plan.inject_flush_bug = cfg.inject_flush_bug;
+  plan.reliable_base = cfg.reliable_base;
   plan.capture_telemetry = cfg.capture_telemetry;
   plan.telemetry_ring = cfg.telemetry_ring;
   return plan;
@@ -108,7 +111,21 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   HybridConfig hybrid;
   hybrid.sp.initial_epoch = plan.initial_epoch;
   if (plan.inject_flush_bug) hybrid.sp.fault_skip_count_sender = 0;
-  Group group(sim, net, plan.members, make_hybrid_total_order_factory(hybrid));
+  LayerFactory factory = make_hybrid_total_order_factory(hybrid);
+  if (plan.reliable_base) {
+    // Slot a ReliableLayer under the switching stack. Sequencer/token do
+    // their own retransmission, so the base layer is exercised as extra
+    // dedup + NACK machinery under the same loss — with a short eviction
+    // horizon so GC eviction paths actually fire within an iteration.
+    factory = [inner = std::move(factory)](NodeId id, const std::vector<NodeId>& members) {
+      auto layers = inner(id, members);
+      ReliableConfig rcfg;
+      rcfg.eviction_horizon = 5 * kSecond;
+      layers.push_back(std::make_unique<ReliableLayer>(rcfg));
+      return layers;
+    };
+  }
+  Group group(sim, net, plan.members, factory);
 
   RunObservation obs;
   obs.epochs.resize(plan.members);
@@ -295,6 +312,12 @@ std::string make_repro(std::uint64_t seed, const FuzzConfig& cfg, const FaultSch
   os << "fuzz_switch --seed " << seed;
   if (cfg.enable_crash) os << " --crash";
   if (cfg.inject_flush_bug) os << " --inject-flush-bug";
+  if (cfg.reliable_base) os << " --reliable-base";
+  // Member bounds feed the seed-derived plan, so non-default values are
+  // part of the reproducer.
+  const FuzzConfig defaults;
+  if (cfg.min_members != defaults.min_members) os << " --members-min " << cfg.min_members;
+  if (cfg.max_members != defaults.max_members) os << " --members-max " << cfg.max_members;
   os << " --schedule '" << sched.to_string() << "'";
   return os.str();
 }

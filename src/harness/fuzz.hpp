@@ -35,6 +35,10 @@ struct FuzzConfig {
   std::size_t max_members = 8;
   /// Include node crash/restart faults in generated schedules.
   bool enable_crash = false;
+  /// Compose a ReliableLayer underneath the hybrid switching stack so the
+  /// campaign also exercises the NACK/ack control plane (range NACKs,
+  /// delta ack vectors, GC eviction) under randomized loss and faults.
+  bool reliable_base = false;
   /// DELIBERATE SP BUG (oracle self-test): members ignore sender 0's count
   /// in the drain check, so they can switch before draining its messages.
   bool inject_flush_bug = false;

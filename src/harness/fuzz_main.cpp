@@ -27,6 +27,9 @@ namespace {
                "  --seed N            base seed (default 1)\n"
                "  --iters N           iterations (default 100); ignored with --schedule\n"
                "  --crash             include node crash/restart faults\n"
+               "  --reliable-base     compose a ReliableLayer under the switching stack\n"
+               "  --members-min N     smallest generated group (default 2)\n"
+               "  --members-max N     largest generated group (default 8)\n"
                "  --inject-flush-bug  enable the deliberate SP drain-count bug; the oracle\n"
                "                      must then report failures (exit code flips: 0 iff caught)\n"
                "  --time-budget S     stop early after S wall seconds (breaks digest\n"
@@ -77,6 +80,12 @@ int main(int argc, char** argv) {
       iters = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--crash") {
       cfg.enable_crash = true;
+    } else if (arg == "--reliable-base") {
+      cfg.reliable_base = true;
+    } else if (arg == "--members-min") {
+      cfg.min_members = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--members-max") {
+      cfg.max_members = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--inject-flush-bug") {
       cfg.inject_flush_bug = true;
     } else if (arg == "--time-budget") {
@@ -107,6 +116,11 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+
+  if (cfg.min_members < 2 || cfg.max_members < cfg.min_members) {
+    std::fprintf(stderr, "need 2 <= --members-min <= --members-max\n");
+    return 2;
   }
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -11,17 +11,83 @@ namespace {
 enum class Type : std::uint8_t {
   kData = 0,
   kPass = 1,
-  kNack = 2,
+  kNack = 2,  // legacy per-sequence list
   kHeartbeat = 3,
   kAck = 4,
-  kAckVec = 5,
+  kAckVec = 5,      // legacy fixed-width full vector
+  kNackRange = 6,   // range-coded, varint-delta
+  kAckVecDelta = 7, // delta/full snapshot, varint fields
 };
 
-/// Cap on missing sequences requested per NACK round, to bound control
-/// traffic after long partitions.
+/// Cap on missing sequences requested per NACK round, to bound
+/// retransmission bursts after long partitions.
 constexpr std::size_t kMaxNackBatch = 64;
 
 }  // namespace
+
+namespace relwire {
+
+void encode_nack(Writer& w, const NackFrame& f) {
+  w.u32(f.origin);
+  w.u16(static_cast<std::uint16_t>(f.ranges.size()));
+  std::uint64_t prev_end = 0;
+  for (const SeqRange& r : f.ranges) {
+    w.varint(r.begin - prev_end);
+    w.varint(r.size() - 1);
+    prev_end = r.end;
+  }
+}
+
+NackFrame decode_nack(Reader& r) {
+  NackFrame f;
+  f.origin = r.u32();
+  const std::uint16_t count = r.u16();
+  f.ranges.reserve(count);
+  std::uint64_t prev_end = 0;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint64_t begin = prev_end + r.varint();
+    const std::uint64_t end = begin + r.varint() + 1;
+    if (end <= begin || begin < prev_end) throw DecodeError("nack range overflow");
+    f.ranges.push_back({begin, end});
+    prev_end = end;
+  }
+  return f;
+}
+
+void encode_ack_vec(Writer& w, const AckVecFrame& f) {
+  w.u32(f.sender);
+  w.u8(f.full ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(f.cums.size()));
+  std::uint64_t prev_origin = 0;
+  bool first = true;
+  for (const auto& [origin, cum] : f.cums) {
+    w.varint(first ? origin : origin - prev_origin - 1);
+    w.varint(cum);
+    prev_origin = origin;
+    first = false;
+  }
+}
+
+AckVecFrame decode_ack_vec(Reader& r) {
+  AckVecFrame f;
+  f.sender = r.u32();
+  const std::uint8_t flags = r.u8();
+  if (flags > 1) throw DecodeError("ack vector: unknown flags");
+  f.full = flags == 1;
+  const std::uint16_t count = r.u16();
+  f.cums.reserve(count);
+  std::uint64_t prev_origin = 0;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint64_t gap = r.varint();
+    const std::uint64_t origin = f.cums.empty() ? gap : prev_origin + gap + 1;
+    if (origin > ~std::uint32_t{0}) throw DecodeError("ack vector: origin overflow");
+    f.cums.emplace_back(static_cast<std::uint32_t>(origin), r.varint());
+    prev_origin = origin;
+  }
+  return f;
+}
+
+}  // namespace relwire
 
 void ReliableLayer::start() {
   tr_ = &ctx().tracer();
@@ -31,10 +97,18 @@ void ReliableLayer::start() {
     reg->attach_counter("rel.nacks_sent", &stats_.nacks_sent);
     reg->attach_counter("rel.retransmissions", &stats_.retransmissions);
     reg->attach_counter("rel.duplicates_dropped", &stats_.duplicates_dropped);
+    reg->attach_counter("rel.nack_bytes_sent", &stats_.nack_bytes_sent);
+    reg->attach_counter("rel.nack_entries_sent", &stats_.nack_entries_sent);
+    reg->attach_counter("rel.ack_bytes_sent", &stats_.ack_bytes_sent);
+    reg->attach_counter("rel.ack_entries_sent", &stats_.ack_entries_sent);
+    reg->attach_counter("rel.members_evicted", &stats_.members_evicted);
+    reg->attach_counter("rel.buffer_evictions", &stats_.buffer_evictions);
+    reg->attach_counter("rel.decode_drops", &stats_.decode_drops);
   }
+  quorum_baseline_ = ctx().now();
   ctx().set_timer(cfg_.nack_interval, [this] { send_nacks(); });
   ctx().set_timer(cfg_.heartbeat_interval, [this] { send_heartbeat(); });
-  ctx().set_timer(cfg_.ack_interval, [this] { send_acks(); });
+  ctx().set_timer(cfg_.ack_interval, [this] { ack_tick(); });
 }
 
 void ReliableLayer::down(Message m) {
@@ -50,11 +124,26 @@ void ReliableLayer::down(Message m) {
     w.u32(origin);
     w.u64(seq);
   });
+  if (sent_buffer_.empty()) {
+    // Members never heard from get a full horizon from the moment there is
+    // something for them to ack, not from layer start — otherwise a burst
+    // after a long quiet period would GC instantly under everyone's nose.
+    quorum_baseline_ = std::max(quorum_baseline_, ctx().now());
+  }
   sent_buffer_.emplace(seq, m.data);  // shares the buffer for retransmission
+  if (cfg_.max_sent_buffer > 0) {
+    while (sent_buffer_.size() > cfg_.max_sent_buffer) {
+      sent_buffer_.erase(sent_buffer_.begin());
+      ++stats_.buffer_evictions;
+    }
+  }
   ctx().send_down(std::move(m));
 }
 
 void ReliableLayer::up(Message m) {
+  last_heard_[m.wire_src.v] = ctx().now();
+  evicted_.erase(m.wire_src.v);  // any sign of life rejoins the GC quorum
+
   // peer_assist needs the wire form (header included) to store for peers;
   // grabbing it before the pops below is free — the Payload shares the
   // receive buffer and keeps its own (longer) logical view of it.
@@ -64,45 +153,71 @@ void ReliableLayer::up(Message m) {
   Type type{};
   std::uint32_t origin = 0;
   std::uint64_t seq = 0;
-  std::vector<std::uint64_t> nack_seqs;
+  std::vector<SeqRange> nack_ranges;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> ack_vec;
-  m.pop_header([&](Reader& r) {
-    type = static_cast<Type>(r.u8());
-    switch (type) {
-      case Type::kData:
-        origin = r.u32();
-        seq = r.u64();
-        break;
-      case Type::kPass:
-        break;
-      case Type::kNack: {
-        origin = r.u32();
-        const std::uint32_t count = r.u32();
-        nack_seqs.reserve(count);
-        for (std::uint32_t i = 0; i < count; ++i) nack_seqs.push_back(r.u64());
-        break;
-      }
-      case Type::kHeartbeat:
-        origin = r.u32();
-        seq = r.u64();
-        break;
-      case Type::kAck:
-        origin = r.u32();
-        seq = r.u64();
-        break;
-      case Type::kAckVec: {
-        origin = r.u32();  // sender of the ack vector
-        const std::uint32_t count = r.u32();
-        ack_vec.reserve(count);
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const std::uint32_t o = r.u32();
-          const std::uint64_t cum = r.u64();
-          ack_vec.emplace_back(o, cum);
+  try {
+    m.pop_header([&](Reader& r) {
+      type = static_cast<Type>(r.u8());
+      switch (type) {
+        case Type::kData:
+          origin = r.u32();
+          seq = r.u64();
+          break;
+        case Type::kPass:
+          break;
+        case Type::kNack: {
+          origin = r.u32();
+          const std::uint32_t count = r.u32();
+          nack_ranges.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t s = r.u64();
+            nack_ranges.push_back({s, s + 1});
+          }
+          break;
         }
-        break;
+        case Type::kNackRange: {
+          if (cfg_.legacy_control) throw DecodeError("unknown frame type (legacy decoder)");
+          relwire::NackFrame f = relwire::decode_nack(r);
+          origin = f.origin;
+          nack_ranges = std::move(f.ranges);
+          break;
+        }
+        case Type::kHeartbeat:
+          origin = r.u32();
+          seq = r.u64();
+          break;
+        case Type::kAck:
+          origin = r.u32();
+          seq = r.u64();
+          break;
+        case Type::kAckVec: {
+          origin = r.u32();  // sender of the ack vector
+          const std::uint32_t count = r.u32();
+          ack_vec.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint32_t o = r.u32();
+            const std::uint64_t cum = r.u64();
+            ack_vec.emplace_back(o, cum);
+          }
+          break;
+        }
+        case Type::kAckVecDelta: {
+          if (cfg_.legacy_control) throw DecodeError("unknown frame type (legacy decoder)");
+          relwire::AckVecFrame f = relwire::decode_ack_vec(r);
+          origin = f.sender;
+          ack_vec = std::move(f.cums);
+          break;
+        }
+        default:
+          throw DecodeError("unknown reliable frame type");
       }
-    }
-  });
+    });
+  } catch (const DecodeError&) {
+    // Truncated, malformed, or from a newer protocol version than this
+    // decoder understands: drop the frame, never misparse it.
+    ++stats_.decode_drops;
+    return;
+  }
   switch (type) {
     case Type::kData:
       on_data(origin, seq, std::move(m), wire_copy);
@@ -111,7 +226,8 @@ void ReliableLayer::up(Message m) {
       ctx().deliver_up(std::move(m));
       break;
     case Type::kNack:
-      on_nack(m.wire_src, origin, nack_seqs);
+    case Type::kNackRange:
+      on_nack(m.wire_src, origin, nack_ranges);
       break;
     case Type::kHeartbeat:
       on_heartbeat(origin, seq);
@@ -120,6 +236,7 @@ void ReliableLayer::up(Message m) {
       on_ack(origin, seq);
       break;
     case Type::kAckVec:
+    case Type::kAckVecDelta:
       on_ack_vector(origin, ack_vec);
       break;
   }
@@ -129,21 +246,19 @@ void ReliableLayer::on_data(std::uint32_t origin, std::uint64_t seq, Message m,
                             const Payload& wire_copy) {
   OriginState& o = origins_[origin];
   o.announced = std::max(o.announced, seq + 1);
-  if (o.received(seq)) {
+  if (!o.track.insert(seq)) {
     ++stats_.duplicates_dropped;
     return;
   }
-  if (seq == o.contiguous) {
-    ++o.contiguous;
-    while (!o.sparse.empty() && *o.sparse.begin() == o.contiguous) {
-      o.sparse.erase(o.sparse.begin());
-      ++o.contiguous;
-    }
-  } else {
-    o.sparse.insert(seq);
-  }
   if (cfg_.peer_assist && origin != ctx().self().v) {
-    store_[origin].emplace(seq, wire_copy);
+    auto& copies = store_[origin];
+    copies.emplace(seq, wire_copy);
+    if (cfg_.max_store_per_origin > 0) {
+      while (copies.size() > cfg_.max_store_per_origin) {
+        copies.erase(copies.begin());
+        ++stats_.buffer_evictions;
+      }
+    }
   }
   ctx().deliver_up(std::move(m));
 }
@@ -161,25 +276,23 @@ NodeId ReliableLayer::nack_target(std::uint32_t origin) {
 }
 
 void ReliableLayer::on_nack(NodeId requester, std::uint32_t origin,
-                            const std::vector<std::uint64_t>& seqs) {
+                            const std::vector<SeqRange>& ranges) {
   const bool own_stream = origin == ctx().self().v;
   if (!own_stream && !cfg_.peer_assist) return;  // stale or misrouted
-  for (std::uint64_t seq : seqs) {
-    const Payload* copy = nullptr;
-    if (own_stream) {
-      auto it = sent_buffer_.find(seq);
-      if (it != sent_buffer_.end()) copy = &it->second;
-    } else {
-      auto os = store_.find(origin);
-      if (os != store_.end()) {
-        auto it = os->second.find(seq);
-        if (it != os->second.end()) copy = &it->second;
-      }
+  const std::map<std::uint64_t, Payload>* buf = nullptr;
+  if (own_stream) {
+    buf = &sent_buffer_;
+  } else {
+    auto os = store_.find(origin);
+    if (os != store_.end()) buf = &os->second;
+  }
+  if (buf == nullptr) return;  // collected, or we never had it
+  for (const SeqRange& rg : ranges) {
+    for (auto it = buf->lower_bound(rg.begin); it != buf->end() && it->first < rg.end; ++it) {
+      ++stats_.retransmissions;
+      tr_->instant(n_retx_, TelemetryTrack::kData, it->first);
+      ctx().send_down(Message::p2p(requester, it->second));
     }
-    if (copy == nullptr) continue;  // collected, or we never had it
-    ++stats_.retransmissions;
-    tr_->instant(n_retx_, TelemetryTrack::kData, seq);
-    ctx().send_down(Message::p2p(requester, *copy));
   }
 }
 
@@ -219,22 +332,33 @@ void ReliableLayer::on_ack_vector(
 void ReliableLayer::send_nacks() {
   for (auto& [origin, o] : origins_) {
     if (origin == ctx().self().v) continue;
-    std::vector<std::uint64_t> missing;
-    for (std::uint64_t s = o.contiguous; s < o.announced && missing.size() < kMaxNackBatch;
-         ++s) {
-      if (!o.received(s)) missing.push_back(s);
-    }
+    const std::vector<SeqRange> missing = o.track.missing_ranges(o.announced, kMaxNackBatch);
     if (missing.empty()) continue;
+    std::uint64_t missing_seqs = 0;
+    for (const SeqRange& r : missing) missing_seqs += r.size();
     ++stats_.nacks_sent;
-    tr_->instant(n_nack_, TelemetryTrack::kData, missing.size());
+    tr_->instant(n_nack_, TelemetryTrack::kData, missing_seqs);
     Message m = Message::p2p(nack_target(origin), {});
-    const std::uint32_t stream = origin;
-    m.push_header([&](Writer& w) {
-      w.u8(static_cast<std::uint8_t>(Type::kNack));
-      w.u32(stream);
-      w.u32(static_cast<std::uint32_t>(missing.size()));
-      for (std::uint64_t s : missing) w.u64(s);
-    });
+    if (cfg_.legacy_control) {
+      const std::uint32_t stream = origin;
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(Type::kNack));
+        w.u32(stream);
+        w.u32(static_cast<std::uint32_t>(missing_seqs));
+        for (const SeqRange& r : missing) {
+          for (std::uint64_t s = r.begin; s < r.end; ++s) w.u64(s);
+        }
+      });
+      stats_.nack_entries_sent += missing_seqs;
+    } else {
+      relwire::NackFrame frame{origin, missing};
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(Type::kNackRange));
+        relwire::encode_nack(w, frame);
+      });
+      stats_.nack_entries_sent += missing.size();
+    }
+    stats_.nack_bytes_sent += m.size();
     ctx().send_down(std::move(m));
   }
   ctx().set_timer(cfg_.nack_interval, [this] { send_nacks(); });
@@ -255,64 +379,129 @@ void ReliableLayer::send_heartbeat() {
   ctx().set_timer(cfg_.heartbeat_interval, [this] { send_heartbeat(); });
 }
 
+void ReliableLayer::ack_tick() {
+  update_evictions();
+  send_acks();
+  collect_garbage();
+  collect_store_garbage();
+  ctx().set_timer(cfg_.ack_interval, [this] { ack_tick(); });
+}
+
 void ReliableLayer::send_acks() {
   if (cfg_.peer_assist) {
-    // Multicast the full per-origin contiguous vector: stability becomes
-    // common knowledge, enabling store garbage collection everywhere.
-    Message m = Message::group({});
+    // Multicast the per-origin contiguous vector: stability becomes common
+    // knowledge, enabling store garbage collection everywhere. Ordinarily
+    // only origins whose prefix advanced since the last tick are included
+    // (delta); every full_ack_every-th tick sends the full snapshot so a
+    // member that missed deltas converges.
     const std::uint32_t self = ctx().self().v;
     std::vector<std::pair<std::uint32_t, std::uint64_t>> cums;
     cums.emplace_back(self, next_seq_);  // our own stream, trivially held
     for (const auto& [origin, o] : origins_) {
-      if (origin != self) cums.emplace_back(origin, o.contiguous);
+      if (origin != self) cums.emplace_back(origin, o.track.contiguous());
     }
-    m.push_header([&](Writer& w) {
-      w.u8(static_cast<std::uint8_t>(Type::kAckVec));
-      w.u32(self);
-      w.u32(static_cast<std::uint32_t>(cums.size()));
-      for (const auto& [origin, cum] : cums) {
-        w.u32(origin);
-        w.u64(cum);
-      }
-    });
+    std::sort(cums.begin(), cums.end());
+    const bool full = cfg_.legacy_control || cfg_.full_ack_every == 0 ||
+                      ack_round_ % cfg_.full_ack_every == 0;
+    ++ack_round_;
+    if (!full) {
+      std::erase_if(cums, [&](const auto& e) {
+        const auto it = last_ack_sent_.find(e.first);
+        return it != last_ack_sent_.end() && it->second >= e.second;
+      });
+      if (cums.empty()) return;  // nothing advanced; peers are current
+    }
+    for (const auto& [origin, cum] : cums) last_ack_sent_[origin] = cum;
+    Message m = Message::group({});
+    if (cfg_.legacy_control) {
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(Type::kAckVec));
+        w.u32(self);
+        w.u32(static_cast<std::uint32_t>(cums.size()));
+        for (const auto& [origin, cum] : cums) {
+          w.u32(origin);
+          w.u64(cum);
+        }
+      });
+    } else {
+      relwire::AckVecFrame frame{self, full, cums};
+      m.push_header([&](Writer& w) {
+        w.u8(static_cast<std::uint8_t>(Type::kAckVecDelta));
+        relwire::encode_ack_vec(w, frame);
+      });
+    }
+    stats_.ack_bytes_sent += m.size();
+    stats_.ack_entries_sent += cums.size();
     ctx().send_down(std::move(m));
   } else {
     for (const auto& [origin, o] : origins_) {
       if (origin == ctx().self().v) continue;
       Message m = Message::p2p(NodeId{origin}, {});
       const std::uint32_t self = ctx().self().v;
-      const std::uint64_t contiguous = o.contiguous;
+      const std::uint64_t contiguous = o.track.contiguous();
       m.push_header([&](Writer& w) {
         w.u8(static_cast<std::uint8_t>(Type::kAck));
         w.u32(self);
         w.u64(contiguous);
       });
+      stats_.ack_bytes_sent += m.size();
+      ++stats_.ack_entries_sent;
       ctx().send_down(std::move(m));
     }
   }
-  ctx().set_timer(cfg_.ack_interval, [this] { send_acks(); });
+}
+
+void ReliableLayer::update_evictions() {
+  if (cfg_.eviction_horizon == 0) return;
+  const Time now = ctx().now();
+  for (const NodeId& member : ctx().members()) {
+    if (member == ctx().self() || evicted_.count(member.v) > 0) continue;
+    const auto heard = last_heard_.find(member.v);
+    const Time last = heard != last_heard_.end() ? std::max(heard->second, quorum_baseline_)
+                                                 : quorum_baseline_;
+    if (now - last > cfg_.eviction_horizon) {
+      evicted_.insert(member.v);
+      ++stats_.members_evicted;
+      MSW_LOG(kInfo, "reliable", now)
+          << "member " << member.v << " idle " << (now - last) << " us, excluded from GC quorum";
+    }
+  }
+}
+
+bool ReliableLayer::counts_for_gc(std::uint32_t member) const {
+  return evicted_.count(member) == 0;
 }
 
 void ReliableLayer::collect_garbage() {
-  // A copy may be dropped once every *other* member has acknowledged a
+  // A copy may be dropped once every counted member has acknowledged a
   // contiguous prefix covering it (we trivially have our own messages).
-  if (acked_by_.size() + 1 < ctx().member_count()) return;
+  // A member we never heard from counts as acked=0 — it blocks collection
+  // exactly until the eviction horizon removes it from the quorum.
   std::uint64_t min_acked = next_seq_;
-  for (const auto& [member, acked] : acked_by_) min_acked = std::min(min_acked, acked);
+  for (const NodeId& member : ctx().members()) {
+    if (member == ctx().self() || !counts_for_gc(member.v)) continue;
+    const auto it = acked_by_.find(member.v);
+    min_acked = std::min(min_acked, it == acked_by_.end() ? 0 : it->second);
+  }
   while (!sent_buffer_.empty() && sent_buffer_.begin()->first < min_acked) {
     sent_buffer_.erase(sent_buffer_.begin());
   }
 }
 
 void ReliableLayer::collect_store_garbage() {
-  // Drop a peer copy of origin o's message once every member's ack row
-  // covers it. Members whose row we have not seen yet block collection.
-  if (ack_matrix_.size() < ctx().member_count()) return;
+  // Drop a peer copy of origin o's message once every counted member's ack
+  // row covers it. A missing row or cell reads as 0 (blocks collection for
+  // that origin) — consistently for both — until the member is evicted, at
+  // which point it stops counting entirely.
   for (auto& [origin, copies] : store_) {
     std::uint64_t min_cum = ~std::uint64_t{0};
-    for (const auto& member : ctx().members()) {
+    for (const NodeId& member : ctx().members()) {
+      if (member != ctx().self() && !counts_for_gc(member.v)) continue;
       const auto row = ack_matrix_.find(member.v);
-      if (row == ack_matrix_.end()) return;
+      if (row == ack_matrix_.end()) {
+        min_cum = 0;
+        break;
+      }
       const auto cell = row->second.find(origin);
       min_cum = std::min(min_cum, cell == row->second.end() ? 0 : cell->second);
     }

@@ -227,9 +227,12 @@ void SequencerLayer::send_gap_nacks() {
   // so the bytes are always still there).
   const std::uint64_t horizon = is_sequencer() ? next_gseq_ : highest_gseq_seen_;
   if (next_deliver_ < horizon) {
+    // Enumerate gaps from the reorder buffer's keys — O(held + ranges),
+    // not O(horizon - next_deliver_), which matters after a long partition.
     std::vector<std::uint64_t> missing;
-    for (std::uint64_t g = next_deliver_; g < horizon && missing.size() < kMaxNackBatch; ++g) {
-      if (reorder_.count(g) == 0) missing.push_back(g);
+    for (const SeqRange& r :
+         missing_ranges_in(reorder_, next_deliver_, horizon, kMaxNackBatch)) {
+      for (std::uint64_t g = r.begin; g < r.end; ++g) missing.push_back(g);
     }
     if (!missing.empty()) {
       if (is_sequencer()) {

@@ -4,6 +4,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "util/log.hpp"
+#include "util/seq_tracker.hpp"
 
 namespace msw {
 namespace {
@@ -232,10 +233,12 @@ void TokenLayer::on_nack(NodeId requester, const std::vector<std::uint64_t>& gse
 
 void TokenLayer::send_gap_nacks() {
   if (next_deliver_ < highest_gseq_seen_) {
+    // Gap enumeration walks the reorder buffer's keys — O(held + ranges),
+    // not O(highest_gseq_seen_ - next_deliver_).
     std::vector<std::uint64_t> missing;
-    for (std::uint64_t g = next_deliver_; g < highest_gseq_seen_ && missing.size() < kMaxNackBatch;
-         ++g) {
-      if (reorder_.count(g) == 0) missing.push_back(g);
+    for (const SeqRange& r :
+         missing_ranges_in(reorder_, next_deliver_, highest_gseq_seen_, kMaxNackBatch)) {
+      for (std::uint64_t g = r.begin; g < r.end; ++g) missing.push_back(g);
     }
     if (!missing.empty()) {
       ++stats_.gap_nacks_sent;

@@ -26,6 +26,16 @@ std::string Reader::str() {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    const Byte b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw DecodeError("varint longer than 10 bytes");
+}
+
 void Reader::expect_done() const {
   if (!done()) {
     throw DecodeError("trailing bytes after decode: " + std::to_string(remaining()));

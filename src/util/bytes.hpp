@@ -42,6 +42,17 @@ class Writer {
   void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
   void boolean(bool v) { u8(v ? 1 : 0); }
 
+  /// LEB128 variable-width unsigned integer: 1 byte for values < 128,
+  /// growing 7 bits per byte (max 10 bytes). The control-plane encodings
+  /// (range NACKs, delta ack vectors) are built on this.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<Byte>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<Byte>(v));
+  }
+
   /// Raw bytes, no length prefix. The caller must know the length on read.
   void raw(std::span<const Byte> b) { out_.insert(out_.end(), b.begin(), b.end()); }
 
@@ -86,6 +97,10 @@ class Reader {
   std::uint64_t u64() { return get_le<std::uint64_t>(); }
   std::int64_t i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
   bool boolean() { return u8() != 0; }
+
+  /// LEB128 varint. Throws DecodeError on underflow or an encoding longer
+  /// than 10 bytes (a u64 never needs more).
+  std::uint64_t varint();
 
   /// Raw bytes of known length.
   std::span<const Byte> raw(std::size_t n) { return take(n); }

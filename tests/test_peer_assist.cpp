@@ -86,6 +86,51 @@ TEST_F(PeerAssist, StoreIsGarbageCollectedAtStability) {
   }
 }
 
+TEST_F(PeerAssist, CrashedMemberDoesNotPinPeerStore) {
+  // A silently crashed member never fills its ack-matrix row, which used
+  // to hold every origin's store at min_cum = 0 forever. With the eviction
+  // horizon it drops out of the stability quorum and the survivors' stores
+  // keep draining under continued traffic.
+  ReliableConfig cfg;
+  cfg.ack_interval = 40 * kMillisecond;
+  cfg.eviction_horizon = 2 * kSecond;
+  GroupHarness h(4, peer_reliable(cfg));
+  h.sim.run_for(50 * kMillisecond);
+  h.net.set_node_up(h.group.node(3), false);
+  for (int i = 0; i < 100; ++i) {
+    h.sim.scheduler().after(i * 100 * kMillisecond,
+                            [&, i] { h.group.send(i % 3, to_bytes("s" + std::to_string(i))); });
+  }
+  h.sim.run_for(12 * kSecond);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(h.delivered_data(p).size(), 100u) << "member " << p;
+    // Unbounded pinning would leave ~100 copies in every store; the
+    // eviction horizon keeps retention to the not-yet-stable tail.
+    EXPECT_LE(g_rel[p]->stats().buffered_copies, 12u) << "member " << p;
+    EXPECT_GT(g_rel[p]->stats().members_evicted, 0u) << "member " << p;
+  }
+}
+
+TEST_F(PeerAssist, StoreCapBoundsRetentionWhenEvictionDisabled) {
+  // Back-stop behaviour: eviction off, one member permanently silent, caps
+  // keep both the sender buffer and per-origin stores bounded.
+  ReliableConfig cfg;
+  cfg.ack_interval = 40 * kMillisecond;
+  cfg.eviction_horizon = 0;
+  cfg.max_sent_buffer = 8;
+  cfg.max_store_per_origin = 8;
+  GroupHarness h(3, peer_reliable(cfg));
+  h.sim.run_for(50 * kMillisecond);
+  h.net.set_node_up(h.group.node(2), false);
+  for (int i = 0; i < 30; ++i) h.group.send(0, to_bytes("cap"));
+  h.sim.run_for(3 * kSecond);
+  // Member 0: its own sent buffer (cap 8) + its store of origin-0 copies
+  // (cap 8) is the worst case.
+  EXPECT_LE(g_rel[0]->stats().buffered_copies, 16u);
+  EXPECT_LE(g_rel[1]->stats().buffered_copies, 16u);
+  EXPECT_GT(g_rel[0]->stats().buffer_evictions, 0u);
+}
+
 TEST_F(PeerAssist, WithoutPeerAssistDeadOriginMeansLoss) {
   // Control: the same scenario with plain origin-only retransmission
   // cannot recover — documenting why peer assistance exists.

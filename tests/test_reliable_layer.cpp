@@ -126,6 +126,102 @@ TEST_F(ReliableTest, BufferRetainedUntilAllAck) {
   EXPECT_EQ(g_layers[0]->stats().buffered_copies, 0u);
 }
 
+TEST_F(ReliableTest, CrashedMemberDoesNotStallGarbageCollection) {
+  // Member 2 crashes permanently (all links cut, both directions). The
+  // sender keeps multicasting; once member 2 has been silent past the
+  // eviction horizon it stops counting toward the GC quorum, so the
+  // retransmission buffer drains instead of growing one copy per send.
+  ReliableConfig cfg;
+  cfg.ack_interval = 50 * kMillisecond;
+  cfg.eviction_horizon = 2 * kSecond;
+  GroupHarness h(3, reliable_only(cfg));
+  for (std::size_t a = 0; a < 3; ++a) {
+    if (a == 2) continue;
+    h.net.set_link_up(h.group.node(a), h.group.node(2), false);
+    h.net.set_link_up(h.group.node(2), h.group.node(a), false);
+  }
+  // Steady traffic for 12 s: far more sends than fit any "still waiting for
+  // the horizon" window.
+  for (int i = 0; i < 120; ++i) {
+    h.sim.scheduler().at(i * 100 * kMillisecond, [&] { h.group.send(0, to_bytes("s")); });
+  }
+  h.sim.run_for(14 * kSecond);
+  // Without eviction all 120 copies would be pinned; with it the buffer
+  // holds at most the few sends not yet acked by the live members.
+  EXPECT_LE(g_layers[0]->stats().buffered_copies, 8u);
+  EXPECT_GT(g_layers[0]->stats().members_evicted, 0u);
+  // The live members still converged.
+  EXPECT_EQ(h.delivered_data(1).size(), 120u);
+}
+
+TEST_F(ReliableTest, EvictionIsCountedLossAndReturningMemberResumes) {
+  // Eviction is deliberate, counted loss-of-retransmittability: once a
+  // crashed member's absence let GC collect the copies, a late return
+  // cannot recover them — but new traffic flows to it normally and the
+  // group does not wedge or crash on its stale NACKs.
+  ReliableConfig cfg;
+  cfg.ack_interval = 50 * kMillisecond;
+  cfg.eviction_horizon = 2 * kSecond;
+  GroupHarness h(3, reliable_only(cfg));
+  h.net.set_link_up(h.group.node(0), h.group.node(2), false);
+  h.net.set_link_up(h.group.node(2), h.group.node(0), false);
+  for (int i = 0; i < 6; ++i) h.group.send(0, to_bytes("back" + std::to_string(i)));
+  h.sim.run_for(4 * kSecond);  // member 2 evicted; copies GC'd on member 1's acks
+  EXPECT_GT(g_layers[0]->stats().members_evicted, 0u);
+  EXPECT_EQ(h.delivered_data(2).size(), 0u);
+  EXPECT_EQ(g_layers[0]->stats().buffered_copies, 0u);
+  h.net.set_link_up(h.group.node(0), h.group.node(2), true);
+  h.net.set_link_up(h.group.node(2), h.group.node(0), true);
+  h.group.send(0, to_bytes("resume"));
+  h.sim.run_for(6 * kSecond);
+  // The old six are gone for member 2 (counted loss); the new message
+  // arrives, and nothing deadlocks despite its NACKs for collected seqs.
+  EXPECT_EQ(h.delivered_data(2).size(), 1u);
+  // Member 2 counts for GC again, and its contiguous ack is stuck at 0
+  // (the collected gap is unfillable), so exactly the resume copy stays
+  // buffered — back-pressure works, but bounded by the live traffic.
+  EXPECT_EQ(g_layers[0]->stats().buffered_copies, 1u);
+}
+
+TEST_F(ReliableTest, SentBufferCapEvictsOldest) {
+  // With eviction disabled and a partitioned member, the hard cap is the
+  // back-stop: the buffer never exceeds max_sent_buffer and evictions are
+  // counted.
+  ReliableConfig cfg;
+  cfg.ack_interval = 50 * kMillisecond;
+  cfg.eviction_horizon = 0;  // quorum never shrinks
+  cfg.max_sent_buffer = 16;
+  GroupHarness h(3, reliable_only(cfg));
+  h.net.set_link_up(h.group.node(2), h.group.node(0), false);  // member 2 can't ack
+  for (int i = 0; i < 40; ++i) h.group.send(0, to_bytes("cap"));
+  h.sim.run_for(3 * kSecond);
+  EXPECT_LE(g_layers[0]->stats().buffered_copies, 16u);
+  EXPECT_GE(g_layers[0]->stats().buffer_evictions, 24u);
+}
+
+TEST_F(ReliableTest, RangeEncodingBeatsLegacyOnWideGaps) {
+  // Same deterministic scenario under both encodings: a one-way outage
+  // opens a wide gap at member 1, which then NACKs it. The range encoding
+  // must spend far fewer control bytes than one u64 per missing sequence.
+  const auto run = [](bool legacy) {
+    g_layers.clear();
+    ReliableConfig cfg;
+    cfg.legacy_control = legacy;
+    GroupHarness h(3, reliable_only(cfg));
+    h.net.set_link_up(h.group.node(0), h.group.node(1), false);
+    for (int i = 0; i < 60; ++i) h.group.send(0, to_bytes("w"));
+    h.sim.run_for(kSecond);
+    h.net.set_link_up(h.group.node(0), h.group.node(1), true);
+    h.sim.run_for(5 * kSecond);
+    EXPECT_EQ(h.delivered_data(1).size(), 60u) << (legacy ? "legacy" : "range");
+    return g_layers[1]->stats().nack_bytes_sent;
+  };
+  const std::uint64_t range_bytes = run(false);
+  const std::uint64_t legacy_bytes = run(true);
+  EXPECT_GT(range_bytes, 0u);
+  EXPECT_LT(range_bytes * 4, legacy_bytes);
+}
+
 TEST_F(ReliableTest, AsymmetricPartitionHealed) {
   GroupHarness h(3, reliable_only());
   // Member 1 misses everything from 0 for a while (one-way outage).
