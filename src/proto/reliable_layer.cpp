@@ -23,11 +23,18 @@ enum class Type : std::uint8_t {
 /// retransmission bursts after long partitions.
 constexpr std::size_t kMaxNackBatch = 64;
 
+/// The range-NACK and delta-ack-vector frames carry a u16 entry count, so
+/// one frame holds at most this many entries; send_acks splits larger
+/// vectors across frames and the encoders refuse (rather than truncate)
+/// anything bigger.
+constexpr std::size_t kMaxFrameEntries = 0xFFFF;
+
 }  // namespace
 
 namespace relwire {
 
 void encode_nack(Writer& w, const NackFrame& f) {
+  if (f.ranges.size() > kMaxFrameEntries) throw DecodeError("nack: too many ranges for one frame");
   w.u32(f.origin);
   w.u16(static_cast<std::uint16_t>(f.ranges.size()));
   std::uint64_t prev_end = 0;
@@ -55,6 +62,9 @@ NackFrame decode_nack(Reader& r) {
 }
 
 void encode_ack_vec(Writer& w, const AckVecFrame& f) {
+  if (f.cums.size() > kMaxFrameEntries) {
+    throw DecodeError("ack vector: too many entries for one frame");
+  }
   w.u32(f.sender);
   w.u8(f.full ? 1 : 0);
   w.u16(static_cast<std::uint16_t>(f.cums.size()));
@@ -128,7 +138,15 @@ void ReliableLayer::down(Message m) {
     // Members never heard from get a full horizon from the moment there is
     // something for them to ack, not from layer start — otherwise a burst
     // after a long quiet period would GC instantly under everyone's nose.
+    // Members evicted before the burst get the same fresh horizon: a fully
+    // idle group exchanges no frames (no data means no heartbeats, and the
+    // p2p ack path has no origins to ack), so healthy members look silent
+    // and evict each other. Without re-admission the first multicast after
+    // a quiet period faces an *empty* GC quorum and is collected at the
+    // next ack tick, racing — and silently losing to — a receiver whose
+    // copy was dropped on the wire and who has not NACKed yet.
     quorum_baseline_ = std::max(quorum_baseline_, ctx().now());
+    evicted_.clear();
   }
   sent_buffer_.emplace(seq, m.data);  // shares the buffer for retransmission
   if (cfg_.max_sent_buffer > 0) {
@@ -168,6 +186,10 @@ void ReliableLayer::up(Message m) {
         case Type::kNack: {
           origin = r.u32();
           const std::uint32_t count = r.u32();
+          // The count is attacker-shaped until checked against the bytes
+          // actually present (8 per entry) — reserving first would turn a
+          // malformed frame into a giant allocation instead of a drop.
+          if (count > r.remaining() / 8) throw DecodeError("nack: count exceeds frame");
           nack_ranges.reserve(count);
           for (std::uint32_t i = 0; i < count; ++i) {
             const std::uint64_t s = r.u64();
@@ -193,6 +215,8 @@ void ReliableLayer::up(Message m) {
         case Type::kAckVec: {
           origin = r.u32();  // sender of the ack vector
           const std::uint32_t count = r.u32();
+          // Same untrusted-count check as kNack; entries are u32+u64.
+          if (count > r.remaining() / 12) throw DecodeError("ack vector: count exceeds frame");
           ack_vec.reserve(count);
           for (std::uint32_t i = 0; i < count; ++i) {
             const std::uint32_t o = r.u32();
@@ -412,8 +436,8 @@ void ReliableLayer::send_acks() {
       if (cums.empty()) return;  // nothing advanced; peers are current
     }
     for (const auto& [origin, cum] : cums) last_ack_sent_[origin] = cum;
-    Message m = Message::group({});
     if (cfg_.legacy_control) {
+      Message m = Message::group({});
       m.push_header([&](Writer& w) {
         w.u8(static_cast<std::uint8_t>(Type::kAckVec));
         w.u32(self);
@@ -423,16 +447,29 @@ void ReliableLayer::send_acks() {
           w.u64(cum);
         }
       });
+      stats_.ack_bytes_sent += m.size();
+      stats_.ack_entries_sent += cums.size();
+      ctx().send_down(std::move(m));
     } else {
-      relwire::AckVecFrame frame{self, full, cums};
-      m.push_header([&](Writer& w) {
-        w.u8(static_cast<std::uint8_t>(Type::kAckVecDelta));
-        relwire::encode_ack_vec(w, frame);
-      });
+      // The delta frame's u16 count caps one frame at kMaxFrameEntries
+      // origins; bigger vectors split across frames rather than truncate.
+      // Receivers merge cumulative acks by monotone max, so the frame
+      // boundary is invisible to them.
+      for (std::size_t base = 0; base < cums.size(); base += kMaxFrameEntries) {
+        const std::size_t n = std::min(kMaxFrameEntries, cums.size() - base);
+        relwire::AckVecFrame frame{self, full,
+                                   {cums.begin() + static_cast<std::ptrdiff_t>(base),
+                                    cums.begin() + static_cast<std::ptrdiff_t>(base + n)}};
+        Message m = Message::group({});
+        m.push_header([&](Writer& w) {
+          w.u8(static_cast<std::uint8_t>(Type::kAckVecDelta));
+          relwire::encode_ack_vec(w, frame);
+        });
+        stats_.ack_bytes_sent += m.size();
+        stats_.ack_entries_sent += n;
+        ctx().send_down(std::move(m));
+      }
     }
-    stats_.ack_bytes_sent += m.size();
-    stats_.ack_entries_sent += cums.size();
-    ctx().send_down(std::move(m));
   } else {
     for (const auto& [origin, o] : origins_) {
       if (origin == ctx().self().v) continue;

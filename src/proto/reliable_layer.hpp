@@ -26,7 +26,12 @@
 // Garbage collection is quorum-based but bounded: a member heard from
 // nothing for `eviction_horizon` is excluded from the GC quorums (sender
 // buffer and peer-assist store), so a permanently crashed member cannot
-// pin `sent_buffer_`/`store_` forever. Explicit caps (`max_sent_buffer`,
+// pin `sent_buffer_`/`store_` forever. Evictions are provisional: when the
+// sent buffer goes empty->non-empty (the start of a burst) every evicted
+// member is re-admitted with a fresh horizon, because an idle group
+// exchanges no frames at all and healthy members would otherwise evict
+// each other and GC the burst's first message before its receivers can
+// NACK a lost copy. Explicit caps (`max_sent_buffer`,
 // `max_store_per_origin`) back-stop retention against a stalled quorum;
 // evicting a copy is deliberate, counted loss-of-retransmittability, not
 // an invariant violation.
@@ -60,7 +65,10 @@ struct ReliableConfig {
   bool peer_assist = false;
   /// A member heard from nothing (data, ack, heartbeat, NACK) for this
   /// long is excluded from garbage-collection quorums until it speaks
-  /// again, so a permanently crashed member cannot stall GC and grow the
+  /// again — or until the sent buffer goes empty->non-empty, which
+  /// re-admits all evicted members with a fresh horizon (an idle group is
+  /// silent by design; idleness must not shrink the quorum for the next
+  /// burst). So a permanently crashed member cannot stall GC and grow the
   /// retention buffers without bound. 0 disables eviction (the pre-scale
   /// all-members-must-ack semantics).
   Duration eviction_horizon = 30 * kSecond;
@@ -90,6 +98,8 @@ struct NackFrame {
 
 /// Range NACK body: u32 origin, u16 range count, then per range a varint
 /// start (delta from the previous range's end) and varint (length - 1).
+/// encode_nack throws DecodeError if ranges.size() exceeds the u16 count
+/// (callers cap batches well below it) instead of silently truncating.
 void encode_nack(Writer& w, const NackFrame& f);
 NackFrame decode_nack(Reader& r);
 
@@ -103,7 +113,9 @@ struct AckVecFrame {
 
 /// Delta ack-vector body: u32 sender, u8 flags, u16 entry count, then per
 /// entry a varint origin gap (delta from the previous origin + 1) and a
-/// varint cumulative ack.
+/// varint cumulative ack. encode_ack_vec throws DecodeError if cums.size()
+/// exceeds the u16 count (the send path splits oversized vectors across
+/// frames) instead of silently truncating.
 void encode_ack_vec(Writer& w, const AckVecFrame& f);
 AckVecFrame decode_ack_vec(Reader& r);
 

@@ -183,6 +183,29 @@ TEST_F(ReliableTest, EvictionIsCountedLossAndReturningMemberResumes) {
   EXPECT_EQ(g_layers[0]->stats().buffered_copies, 1u);
 }
 
+TEST_F(ReliableTest, FirstMessageAfterIdlePeriodSurvivesLoss) {
+  // A fully idle group exchanges no frames (no data -> no heartbeats, and
+  // the p2p ack path has no origins to ack), so past the eviction horizon
+  // every healthy member evicts every other. The first multicast after the
+  // quiet period must NOT face an empty GC quorum: here its only copy
+  // toward member 1 is lost on the wire, and recovery via heartbeat + NACK
+  // takes far longer than the sender's next ack tick. If eviction were not
+  // reversed at burst start, the sender would GC the copy immediately and
+  // the message would be silently unrecoverable.
+  ReliableConfig cfg;
+  cfg.eviction_horizon = 2 * kSecond;
+  GroupHarness h(3, reliable_only(cfg));
+  h.sim.run_for(5 * kSecond);  // idle well past the horizon
+  EXPECT_GT(g_layers[0]->stats().members_evicted, 0u);
+  h.net.set_link_up(h.group.node(0), h.group.node(1), false);
+  h.group.send(0, to_bytes("after-idle"));
+  h.sim.run_for(500 * kMillisecond);  // many ack ticks: GC had every chance
+  h.net.set_link_up(h.group.node(0), h.group.node(1), true);
+  h.sim.run_for(5 * kSecond);
+  EXPECT_EQ(h.delivered_data(1).size(), 1u);
+  EXPECT_EQ(h.delivered_data(2).size(), 1u);
+}
+
 TEST_F(ReliableTest, SentBufferCapEvictsOldest) {
   // With eviction disabled and a partitioned member, the hard cap is the
   // back-stop: the buffer never exceeds max_sent_buffer and evictions are

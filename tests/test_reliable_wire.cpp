@@ -184,6 +184,28 @@ TEST(RelWire, AckVecBadFlagsThrows) {
   EXPECT_THROW(relwire::decode_ack_vec(r), DecodeError);
 }
 
+// -------------------------------------------------------- oversized frames --
+
+TEST(RelWire, EncodeNackRefusesOversizedRangeList) {
+  // The frame's range count is a u16; one entry past it must throw, never
+  // silently truncate (a truncated frame disagrees with its own count).
+  NackFrame f;
+  f.origin = 1;
+  f.ranges.resize(0x10000);
+  Bytes buf;
+  Writer w(buf);
+  EXPECT_THROW(relwire::encode_nack(w, f), DecodeError);
+}
+
+TEST(RelWire, EncodeAckVecRefusesOversizedVector) {
+  AckVecFrame f;
+  f.sender = 1;
+  f.cums.resize(0x10000);
+  Bytes buf;
+  Writer w(buf);
+  EXPECT_THROW(relwire::encode_ack_vec(w, f), DecodeError);
+}
+
 // ----------------------------------------------------------- mixed version --
 
 std::vector<ReliableLayer*> g_layers;
@@ -233,6 +255,40 @@ TEST_F(MixedVersionTest, LegacyMemberDropsNewFramesWithoutCrashing) {
   // New-format members never drop legacy frames.
   EXPECT_EQ(g_layers[1]->stats().decode_drops, 0u);
   EXPECT_EQ(g_layers[2]->stats().decode_drops, 0u);
+}
+
+TEST_F(MixedVersionTest, LegacyFramesWithHugeCountsAreDroppedNotCrash) {
+  // The legacy kNack / kAckVec bodies carry a u32 entry count. A malformed
+  // frame can claim ~4G entries while holding none; the decoder must check
+  // the count against the bytes actually present BEFORE reserving storage,
+  // or the "drop malformed frames" contract turns into a 64 GB allocation
+  // attempt and an uncaught bad_alloc.
+  GroupHarness h(3, mixed_factory(/*legacy_member=*/3));  // all new-format
+  const NodeId attacker = h.net.add_node();
+  Message evil_nack = Message::group({});
+  evil_nack.push_header([](Writer& w) {
+    w.u8(2);            // Type::kNack wire value
+    w.u32(0);           // origin
+    w.u32(0xFFFFFFFF);  // claimed entry count, no entries follow
+  });
+  h.net.multicast(attacker, h.group.members(), evil_nack.data);
+  Message evil_ackvec = Message::group({});
+  evil_ackvec.push_header([](Writer& w) {
+    w.u8(5);            // Type::kAckVec wire value
+    w.u32(7);           // claimed sender
+    w.u32(0xFFFFFFFF);  // claimed entry count, no entries follow
+  });
+  h.net.multicast(attacker, h.group.members(), evil_ackvec.data);
+  h.sim.run_for(kSecond);
+  std::uint64_t drops = 0;
+  for (ReliableLayer* l : g_layers) drops += l->stats().decode_drops;
+  EXPECT_EQ(drops, 6u);  // two frames x three members, all counted drops
+  // The group is unharmed and still converges.
+  h.group.send(0, to_bytes("still-alive"));
+  h.sim.run_for(kSecond);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(h.delivered_data(p).size(), 1u) << "member " << p;
+  }
 }
 
 TEST_F(MixedVersionTest, AllLegacyGroupStillConverges) {
