@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-smoke guard: fail when a hot-path benchmark regresses against the
+checked-in baseline.
+
+Compares a fresh google-benchmark JSON run against bench/baseline_seed.json
+and exits non-zero if any benchmark present in BOTH files is slower by more
+than the allowed percentage (default 15). Benchmarks only in the fresh run
+(newly added ones) are reported informationally and not gated until the
+baseline is refreshed.
+
+The baseline is a capture from the pre-batching tree; refresh it (rerun
+bench/run_micro.sh's filter on the new tree and commit the JSON) whenever
+the benchmark machine changes — absolute nanoseconds do not transfer
+between hosts, so a stale baseline from different hardware makes this
+check meaningless.
+
+Usage: check_perf_regression.py AFTER.json [BASELINE.json] [max_regression_pct]
+"""
+import json
+import os
+import sys
+
+
+def mean_times(path):
+    """run_name -> cpu_time mean aggregate (or the plain iteration entry
+    when the run used a single repetition)."""
+    with open(path) as f:
+        raw = json.load(f)
+    out = {}
+    for b in raw["benchmarks"]:
+        if b.get("aggregate_name") == "mean" or (
+            b.get("run_type") == "iteration" and b["run_name"] not in out
+        ):
+            out[b["run_name"]] = b["cpu_time"]
+    return out
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    after = mean_times(sys.argv[1])
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "baseline_seed.json")
+    )
+    before = mean_times(baseline_path)
+    limit = float(sys.argv[3]) if len(sys.argv) > 3 else 15.0
+
+    gated = sorted(set(after) & set(before))
+    if not gated:
+        sys.exit("no benchmarks shared between run and baseline; "
+                 "wrong --benchmark_filter?")
+
+    failed = []
+    for n in gated:
+        pct = 100.0 * (after[n] / before[n] - 1.0)
+        print(f"{n}: baseline {before[n]:.1f} ns vs current {after[n]:.1f} ns "
+              f"-> {pct:+.2f}%")
+        if pct > limit:
+            failed.append(f"{n} ({pct:+.1f}%)")
+    for n in sorted(set(after) - set(before)):
+        print(f"{n}: {after[n]:.1f} ns (new benchmark, not in baseline; not gated)")
+
+    if failed:
+        sys.exit(f"perf regression exceeds {limit}% on: {', '.join(failed)}")
+    print(f"ok: all {len(gated)} gated benchmarks within {limit}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

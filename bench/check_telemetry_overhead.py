@@ -3,8 +3,9 @@
 
 Compares two google-benchmark JSON files — a default build (telemetry
 compiled in, rings unarmed) and a -DMSW_TELEMETRY=OFF build — and fails
-if BM_MulticastFanOut regresses by more than the allowed percentage
-(default 3, DESIGN.md section 9's overhead budget). Metrics attach as
+if BM_MulticastFanOut or BM_BatchedFanOut (the batched multicast hot
+path) regresses by more than the allowed percentage (default 3,
+DESIGN.md section 9's overhead budget). Metrics attach as
 external views of counters the hot path already increments and tracer
 emission is a single branch on a null ring, so the two builds should be
 indistinguishable; a real gap means an instrument leaked into the
@@ -37,11 +38,12 @@ def main():
     off = mean_times(sys.argv[2])
     limit = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
 
-    names = [n for n in ("BM_MulticastFanOut/32", "BM_MulticastFanOut/8")
+    names = [n for n in ("BM_MulticastFanOut/32", "BM_MulticastFanOut/8",
+                         "BM_BatchedFanOut/32", "BM_BatchedFanOut/128")
              if n in on and n in off]
     if not names:
-        sys.exit("no BM_MulticastFanOut results in both files; "
-                 "wrong --benchmark_filter?")
+        sys.exit("no BM_MulticastFanOut/BM_BatchedFanOut results in both "
+                 "files; wrong --benchmark_filter?")
 
     failed = []
     for n in names:

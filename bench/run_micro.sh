@@ -15,7 +15,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-rel}"
 REPS="${BENCH_REPS:-3}"
-FILTER='BM_WriterReaderRoundTrip|BM_MessageHeaderPushPop|BM_SchedulerDispatch|BM_SchedulerCancelHeavy|BM_SchedulerChurn|BM_MulticastFanOut'
+FILTER='BM_WriterReaderRoundTrip|BM_MessageHeaderPushPop|BM_SchedulerDispatch|BM_SchedulerCancelHeavy|BM_SchedulerChurn|BM_MulticastFanOut|BM_BatchedFanOut|BM_BatchedGroupSend'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j --target bench_micro bench_group_scaling
@@ -61,6 +61,11 @@ before, after = means(before_raw), means(after_raw)
 headline = {
     "MulticastFanOut/32": "BM_MulticastFanOut/32",
     "MulticastFanOut/8": "BM_MulticastFanOut/8",
+    "MulticastFanOut/128": "BM_MulticastFanOut/128",
+    "MulticastFanOut/512": "BM_MulticastFanOut/512",
+    "BatchedFanOut/128": "BM_BatchedFanOut/128",
+    "BatchedFanOut/512": "BM_BatchedFanOut/512",
+    "MessageHeaderPushPop/1": "BM_MessageHeaderPushPop/1",
     "SchedulerDispatch": "BM_SchedulerDispatch",
     "SchedulerCancelHeavy": "BM_SchedulerCancelHeavy",
     "MessageHeaderPushPop/8": "BM_MessageHeaderPushPop/8",
@@ -75,6 +80,23 @@ for label, name in headline.items():
             "after_ns": round(a, 1),
             "speedup_x": round(b / a, 2),
             "reduction_pct": round(100.0 * (1.0 - a / b), 1),
+        }
+
+# The acceptance headline: batched fan-out vs the pre-batching per-message
+# tree, normalized per delivered copy (BM_BatchedFanOut sends a 16-message
+# run to n members; BM_MulticastFanOut sends one message to n members).
+KRUN = 16
+batched_fanout = {}
+for n in (32, 128, 512):
+    batched = after.get(f"BM_BatchedFanOut/{n}")
+    unbatched = before.get(f"BM_MulticastFanOut/{n}")
+    if batched and unbatched:
+        per_copy_after = batched["real_time_ns"] / (n * KRUN)
+        per_copy_before = unbatched["real_time_ns"] / n
+        batched_fanout[f"n={n}"] = {
+            "before_ns_per_copy": round(per_copy_before, 2),
+            "after_ns_per_copy": round(per_copy_after, 2),
+            "speedup_x": round(per_copy_before / per_copy_after, 2),
         }
 
 def compiler_version():
@@ -98,11 +120,12 @@ doc = {
                + str(after_raw["context"].get("mhz_per_cpu", "?")) + " MHz",
         "repetitions": int(os.environ["BENCH_REPS"]),
         "statistic": "mean of repetitions, real time",
-        "before": "seed tree (commit 78082b4) with identical benchmark sources",
+        "before": "pre-batching tree (bench/baseline_seed.json capture) with identical benchmark sources",
         "after": "current tree",
         "date": after_raw["context"]["date"],
     },
     "speedups": speedups,
+    "batched_fanout_per_copy": batched_fanout,
     "before": before,
     "after": after,
     "group_scaling_stdout": open(os.environ["BENCH_SCALING_TXT"]).read(),
@@ -113,4 +136,7 @@ print(f"\nwrote {out}")
 for label, s in speedups.items():
     print(f"  {label:24s} {s['before_ns']:>10.1f} -> {s['after_ns']:>10.1f} ns   "
           f"{s['speedup_x']}x ({s['reduction_pct']}% faster)")
+for label, s in batched_fanout.items():
+    print(f"  batched fan-out {label:8s} {s['before_ns_per_copy']:>8.2f} -> "
+          f"{s['after_ns_per_copy']:>8.2f} ns/copy   {s['speedup_x']}x")
 PY

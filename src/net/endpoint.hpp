@@ -35,10 +35,14 @@ class Endpoint {
   Time now() const { return net_.scheduler().now(); }
 
   void set_handler(PacketHandler handler) { net_.set_handler(id_, std::move(handler)); }
+  void set_run_handler(PacketRunHandler handler) { net_.set_run_handler(id_, std::move(handler)); }
 
   void send(NodeId to, Payload data) { net_.send(id_, to, std::move(data)); }
   void multicast(const std::vector<NodeId>& to, Payload data) {
     net_.multicast(id_, to, std::move(data));
+  }
+  void multicast_run(const std::vector<NodeId>& to, std::span<const Payload> msgs) {
+    net_.multicast_run(id_, to, msgs);
   }
 
   /// One-shot timer. The callback is dropped (not fired) if cancelled or if

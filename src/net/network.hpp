@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,12 @@ struct NetConfig {
 /// dispatch is one indirect call.
 using PacketHandler = UniqueFunction<void(Packet)>;
 
+/// Optional batched receive callback: a coalesced run of same-instant
+/// packets from one sender, delivered in one scheduler event. Nodes without
+/// one installed receive runs through their PacketHandler, one call per
+/// packet, in the same order.
+using PacketRunHandler = UniqueFunction<void(NodeId src, std::span<const Payload> run)>;
+
 /// Per-copy perturbation hook consulted for every unicast/multicast copy
 /// that survived the link and loss checks (loopback copies are exempt).
 /// The fault plane (net/fault.hpp) implements this; the Network stays free
@@ -104,6 +111,10 @@ class Network {
   /// Install the receive callback for a node (required before traffic).
   void set_handler(NodeId node, PacketHandler handler);
 
+  /// Install the batched receive callback for a node (optional; see
+  /// PacketRunHandler). Only coalesced runs from multicast_run use it.
+  void set_run_handler(NodeId node, PacketRunHandler handler);
+
   /// Point-to-point datagram. Sending to self uses the loopback path.
   void send(NodeId from, NodeId to, Payload data);
 
@@ -111,6 +122,18 @@ class Network {
   /// (including `from` itself, if listed) receives a copy. The copies all
   /// share `data`'s buffer — fan-out is O(1) per destination, not O(bytes).
   void multicast(NodeId from, const std::vector<NodeId>& to, Payload data);
+
+  /// Batched multicast: behaves exactly like calling multicast() once per
+  /// element of `msgs`, in order — same per-link RNG draws, same fault
+  /// decisions, same stats, same per-destination delivery order — but
+  /// copies to one destination whose arrivals coincide are coalesced into
+  /// one scheduler scatter event (and, when cpu_recv is zero, one handler
+  /// event). With an ideal network config the whole fan-out costs one
+  /// event per destination per tick instead of one per copy. Grouping
+  /// tables live in the scheduler's tick arena; nothing per-message is
+  /// allocated for the common all-arrivals-equal case beyond one shared
+  /// payload vector.
+  void multicast_run(NodeId from, const std::vector<NodeId>& to, std::span<const Payload> msgs);
 
   /// Partition control. Both directions are affected independently.
   void set_link_up(NodeId from, NodeId to, bool up);
@@ -156,6 +179,7 @@ class Network {
  private:
   struct Node {
     PacketHandler handler;
+    PacketRunHandler run_handler;
     Time cpu_free_at = 0;
     bool up = true;
     /// Bumped by crash_node; receive work scheduled under an older
@@ -169,6 +193,17 @@ class Network {
 
   /// Schedule delivery of a copy at `dest` arriving at `arrive`.
   void deliver_copy(NodeId dest, Packet packet, Time arrive);
+
+  /// Arrival-time body of deliver_copy: receive-CPU bookkeeping plus the
+  /// handler event. Shared with deliver_run's serial-CPU path.
+  void finish_copy(NodeId dest, Packet packet, Time sent_at);
+
+  /// Schedule delivery of a coalesced run (>= 2 copies, one sender, equal
+  /// arrival) at `dest`: one arrival event; one handler event too when
+  /// cpu_recv is zero, per-copy handler events otherwise (the serial CPU
+  /// gives each copy its own completion instant).
+  void deliver_run(NodeId dest, NodeId from, std::shared_ptr<const std::vector<Payload>> run,
+                   Time arrive);
 
   /// Per-copy checks + fault plan for one destination; returns false when
   /// the copy dies (link down, loss, injected drop). On success schedules

@@ -51,6 +51,7 @@ class StopAndWaitLayer : public LinkLayerBase {
 
   void down(Message m) override;
   void up(Message m) override;
+  void down_batch(MessageBatch b) override;
 
   struct Stats {
     std::uint64_t retransmissions = 0;
@@ -81,6 +82,7 @@ class GoBackNLayer : public LinkLayerBase {
 
   void down(Message m) override;
   void up(Message m) override;
+  void down_batch(MessageBatch b) override;
 
   struct Stats {
     std::uint64_t retransmissions = 0;

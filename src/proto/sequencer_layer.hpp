@@ -57,6 +57,8 @@ class SequencerLayer : public Layer {
   void start() override;
   void down(Message m) override;
   void up(Message m) override;
+  void down_batch(MessageBatch b) override;
+  void up_batch(MessageBatch b) override;
 
   bool is_sequencer() const { return ctx().self() == sequencer(); }
 
@@ -73,7 +75,10 @@ class SequencerLayer : public Layer {
   NodeId sequencer() const { return ctx().members().front(); }
 
   void on_order_req(std::uint32_t origin, std::uint64_t oseq, Message m);
-  void on_sequenced(std::uint64_t gseq, std::uint32_t origin, std::uint64_t oseq, Message m);
+  /// `out` non-null collects deliveries into a batch instead of delivering
+  /// each immediately (the batched receive path).
+  void on_sequenced(std::uint64_t gseq, std::uint32_t origin, std::uint64_t oseq, Message m,
+                    MessageBatch* out = nullptr);
   void on_gap_nack(NodeId requester, const std::vector<std::uint64_t>& gseqs);
   void on_gc_ack(std::uint32_t from, std::uint64_t contiguous);
 

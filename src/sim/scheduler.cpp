@@ -7,6 +7,46 @@
 
 namespace msw {
 
+void* TickArena::alloc(std::size_t bytes) {
+  // Round up so every allocation is aligned for any scalar type.
+  constexpr std::size_t kAlign = alignof(std::max_align_t);
+  bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+  while (true) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      if (off_ + bytes <= b.cap) {
+        Byte* p = b.mem.get() + off_;
+        off_ += bytes;
+        used_ += bytes;
+        high_water_ = std::max(high_water_, used_);
+        return p;
+      }
+      ++cur_block_;
+      off_ = 0;
+      continue;
+    }
+    const std::size_t cap = std::max(kBlockSize, bytes);
+    blocks_.push_back(Block{std::make_unique<Byte[]>(cap), cap});
+  }
+}
+
+Bytes& TickArena::scratch() {
+  if (scratch_used_ == scratch_pool_.size()) {
+    scratch_pool_.push_back(std::make_unique<Bytes>());
+  }
+  Bytes& b = *scratch_pool_[scratch_used_++];
+  b.clear();
+  return b;
+}
+
+void TickArena::reset() {
+  cur_block_ = 0;
+  off_ = 0;
+  used_ = 0;
+  scratch_used_ = 0;
+  ++resets_;
+}
+
 void Scheduler::bind_metrics(MetricsRegistry& reg) const {
   reg.attach_counter("sched.executed", &executed_);
   reg.attach_counter("sched.cancelled", &cancelled_);
@@ -65,6 +105,7 @@ bool Scheduler::pop_one() {
       queue_.pop();  // cancelled; handler was already destroyed
       continue;
     }
+    if (ev.t != now_) arena_.reset();  // tick ended: release batch scratch
     now_ = ev.t;
     Fn fn = std::move(s.fn);
     retire_slot(ev.slot);

@@ -15,15 +15,75 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/bytes.hpp"
 #include "util/function_ref.hpp"
 
 namespace msw {
 
 class MetricsRegistry;
+
+/// Bump allocator scoped to one scheduler tick. Batch paths draw transient
+/// storage from it — header-encode scratch, fan-out grouping tables — and
+/// the whole arena is released wholesale when simulated time advances, so
+/// the steady-state batch hot loop performs no per-message allocation.
+///
+/// Only trivially-destructible data may live here (nothing runs destructors
+/// on reset), and nothing allocated from the arena may outlive the tick:
+/// anything that crosses a scheduler event boundary (in-flight packets,
+/// retained frames) must own its storage the ordinary way.
+class TickArena {
+ public:
+  /// Raw allocation, aligned for any scalar type. Valid until the clock
+  /// next advances.
+  void* alloc(std::size_t bytes);
+
+  /// Typed array allocation; T must be trivially destructible (nothing is
+  /// destroyed on reset). The memory is uninitialized.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "TickArena never runs destructors");
+    return static_cast<T*>(alloc(n * sizeof(T)));
+  }
+
+  /// A pooled, cleared Bytes buffer valid until the clock next advances —
+  /// the flat scratch space batched header encoders write through. The
+  /// vectors themselves are recycled across ticks, so their capacity (and
+  /// thus the encode path's allocation count) amortizes to zero.
+  Bytes& scratch();
+
+  /// Release everything allocated this tick. Blocks and scratch vectors are
+  /// retained for reuse; only the bump cursor and pool index rewind.
+  void reset();
+
+  /// Bytes handed out since the last reset (scratch excluded).
+  std::size_t used() const { return used_; }
+  /// Largest `used()` ever observed — sizing signal for the block list.
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<Byte[]> mem;
+    std::size_t cap = 0;
+  };
+
+  static constexpr std::size_t kBlockSize = 64 * 1024;
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;
+  std::size_t off_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t resets_ = 0;
+  std::vector<std::unique_ptr<Bytes>> scratch_pool_;
+  std::size_t scratch_used_ = 0;
+};
 
 /// Handle for a scheduled event, usable with Scheduler::cancel. A default
 /// constructed id is invalid; ids are never reused (generations advance
@@ -75,6 +135,10 @@ class Scheduler {
   /// Register the scheduler's counters on `reg` under "sched." names.
   void bind_metrics(MetricsRegistry& reg) const;
 
+  /// Per-tick allocator for batch paths. Reset automatically whenever the
+  /// clock advances to a new tick; see TickArena for lifetime rules.
+  TickArena& tick_arena() { return arena_; }
+
  private:
   struct Ev {
     Time t;
@@ -109,6 +173,7 @@ class Scheduler {
   std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  TickArena arena_;
 };
 
 }  // namespace msw

@@ -2,7 +2,28 @@
 
 #include <cassert>
 
+#include "util/log.hpp"
+
 namespace msw {
+
+void Layer::down_batch(MessageBatch b) {
+  for (Message& m : b) down(std::move(m));
+}
+
+void Layer::up_batch(MessageBatch b) {
+  for (Message& m : b) {
+    const NodeId src = m.wire_src;
+    try {
+      up(std::move(m));
+    } catch (const DecodeError& e) {
+      // Same drop-at-the-point-of-failure rule as Stack::on_packet: a
+      // malformed packet aborts its own traversal, never its runmates'.
+      MSW_LOG(kDebug, "layer", ctx_.now())
+          << to_string(ctx_.self()) << " dropped malformed packet from " << to_string(src)
+          << " in batch: " << e.what();
+    }
+  }
+}
 
 std::size_t LayerContext::self_index() const {
   const auto& m = members();
@@ -19,29 +40,46 @@ NodeId LayerContext::ring_successor() const {
 }
 
 LayerChain::LayerChain(Services& services, std::vector<std::unique_ptr<Layer>> layers,
-                       LayerContext::Route to_network, LayerContext::Route to_app)
+                       LayerContext::Route to_network, LayerContext::Route to_app,
+                       LayerContext::BatchRoute to_network_batch,
+                       LayerContext::BatchRoute to_app_batch)
     : layers_(std::move(layers)),
       to_network_(std::move(to_network)),
-      to_app_(std::move(to_app)) {
+      to_app_(std::move(to_app)),
+      to_network_batch_(std::move(to_network_batch)),
+      to_app_batch_(std::move(to_app_batch)) {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     // Down from layer i goes to layer i+1 (or out the bottom); up from
     // layer i goes to layer i-1 (or out the top). Raw pointers into
     // layers_ are stable: the vector is never resized after construction.
+    // Batch routes mirror the per-message wiring; a missing boundary batch
+    // route leaves the batch route empty, so LayerContext unrolls there.
     LayerContext::Route down_route;
+    LayerContext::BatchRoute down_batch_route;
     if (i + 1 < layers_.size()) {
       Layer* below = layers_[i + 1].get();
       down_route = [below](Message m) { below->down(std::move(m)); };
+      down_batch_route = [below](MessageBatch b) { below->down_batch(std::move(b)); };
     } else {
       down_route = [this](Message m) { to_network_(std::move(m)); };
+      if (to_network_batch_) {
+        down_batch_route = [this](MessageBatch b) { to_network_batch_(std::move(b)); };
+      }
     }
     LayerContext::Route up_route;
+    LayerContext::BatchRoute up_batch_route;
     if (i > 0) {
       Layer* above = layers_[i - 1].get();
       up_route = [above](Message m) { above->up(std::move(m)); };
+      up_batch_route = [above](MessageBatch b) { above->up_batch(std::move(b)); };
     } else {
       up_route = [this](Message m) { to_app_(std::move(m)); };
+      if (to_app_batch_) {
+        up_batch_route = [this](MessageBatch b) { to_app_batch_(std::move(b)); };
+      }
     }
-    layers_[i]->bind(LayerContext(&services, std::move(down_route), std::move(up_route)));
+    layers_[i]->bind(LayerContext(&services, std::move(down_route), std::move(up_route),
+                                  std::move(down_batch_route), std::move(up_batch_route)));
   }
 }
 
@@ -62,6 +100,30 @@ void LayerChain::up_from_bottom(Message m) {
     to_app_(std::move(m));
   } else {
     layers_.back()->up(std::move(m));
+  }
+}
+
+void LayerChain::down_from_top_batch(MessageBatch b) {
+  if (layers_.empty()) {
+    if (to_network_batch_) {
+      to_network_batch_(std::move(b));
+    } else {
+      for (Message& m : b) to_network_(std::move(m));
+    }
+  } else {
+    layers_.front()->down_batch(std::move(b));
+  }
+}
+
+void LayerChain::up_from_bottom_batch(MessageBatch b) {
+  if (layers_.empty()) {
+    if (to_app_batch_) {
+      to_app_batch_(std::move(b));
+    } else {
+      for (Message& m : b) to_app_(std::move(m));
+    }
+  } else {
+    layers_.back()->up_batch(std::move(b));
   }
 }
 

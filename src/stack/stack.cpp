@@ -22,8 +22,12 @@ Stack::Stack(Network& net, NodeId self, std::vector<NodeId> members,
   }
   chain_ = std::make_unique<LayerChain>(
       *this, std::move(layers), [this](Message m) { to_network(std::move(m)); },
-      [this](Message m) { to_app(std::move(m)); });
+      [this](Message m) { to_app(std::move(m)); },
+      [this](MessageBatch b) { to_network_batch(std::move(b)); },
+      [this](MessageBatch b) { to_app_batch(std::move(b)); });
   endpoint_.set_handler([this](Packet p) { on_packet(std::move(p)); });
+  endpoint_.set_run_handler(
+      [this](NodeId src, std::span<const Payload> run) { on_packet_run(src, run); });
 }
 
 void Stack::start() { chain_->start(); }
@@ -37,12 +41,51 @@ void Stack::send(Bytes body) {
   chain_->down_from_top(std::move(m));
 }
 
+void Stack::send_batch(std::vector<Bytes> bodies) {
+  if (!batching_ || bodies.size() == 1) {
+    for (Bytes& body : bodies) send(std::move(body));
+    return;
+  }
+  MessageBatch batch;
+  batch.reserve(bodies.size());
+  for (Bytes& body : bodies) {
+    const MsgId id{self().v, next_seq_++, MsgId::Kind::kData};
+    tracer_->instant(n_app_send_, TelemetryTrack::kData, id.seq);
+    if (capture_ != nullptr) capture_->record_send(self(), id, body, now());
+    Message m = Message::group(std::move(body));
+    AppHeader::push(m, AppHeader{AppHeader::Kind::kData, id.sender, id.seq});
+    batch.push_back(std::move(m));
+  }
+  chain_->down_from_top_batch(std::move(batch));
+}
+
 void Stack::to_network(Message m) {
   if (m.is_p2p()) {
     endpoint_.send(*m.point_to, std::move(m.data));
   } else {
     endpoint_.multicast(members_, std::move(m.data));
   }
+}
+
+void Stack::to_network_batch(MessageBatch b) {
+  // Consecutive group messages leave as one batched scatter; point-to-point
+  // messages are sent individually in place, preserving emission order.
+  std::vector<Payload>& group_run = payload_scratch_;
+  group_run.clear();
+  auto flush = [&] {
+    if (group_run.empty()) return;
+    endpoint_.multicast_run(members_, group_run);
+    group_run.clear();
+  };
+  for (Message& m : b) {
+    if (m.is_p2p()) {
+      flush();
+      endpoint_.send(*m.point_to, std::move(m.data));
+    } else {
+      group_run.push_back(std::move(m.data));
+    }
+  }
+  flush();
 }
 
 void Stack::to_app(Message m) {
@@ -59,6 +102,38 @@ void Stack::to_app(Message m) {
   tracer_->instant(n_app_deliver_, TelemetryTrack::kData, id.seq);
   if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data.view(), now());
   if (on_deliver_) on_deliver_(id, m.data.view());
+}
+
+void Stack::to_app_batch(MessageBatch b) {
+  // App delivery is inherently per-message (capture, counters, callback);
+  // the batch only saved the trip through the layers.
+  for (Message& m : b) to_app(std::move(m));
+}
+
+void Stack::on_packet_run(NodeId src, std::span<const Payload> run) {
+  if (!batching_) {
+    // The sender batched but this process opted out: unroll the run in
+    // order, exactly as if the copies had arrived back to back.
+    for (const Payload& p : run) on_packet(Packet{src, p});
+    return;
+  }
+  MessageBatch batch;
+  batch.reserve(run.size());
+  for (const Payload& p : run) {
+    Message m;
+    m.data = p;
+    m.wire_src = src;
+    batch.push_back(std::move(m));
+  }
+  try {
+    chain_->up_from_bottom_batch(std::move(batch));
+  } catch (const DecodeError& e) {
+    // Layers isolate malformed messages per message (Layer::up_batch); this
+    // is the backstop for an empty chain or a batch-unaware throw.
+    MSW_LOG(kDebug, "stack", now())
+        << to_string(self()) << " dropped malformed packet run from " << to_string(src) << ": "
+        << e.what();
+  }
 }
 
 void Stack::on_packet(Packet p) {

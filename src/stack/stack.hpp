@@ -44,6 +44,17 @@ class Stack : public Services {
   /// Multicast an application payload to the group.
   void send(Bytes body);
 
+  /// Multicast a run of application payloads submitted at one instant. With
+  /// batching enabled the run rides the batched data plane — one layer
+  /// dispatch per layer and one network scatter for the whole run; with it
+  /// disabled this is exactly a loop over send().
+  void send_batch(std::vector<Bytes> bodies);
+
+  /// Toggle the batched data plane for this process (default on). Turning
+  /// it off makes every batch route decay to the per-message path — the
+  /// control arm of the batched-vs-unbatched equivalence test.
+  void set_batching(bool on) { batching_ = on; }
+
   void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
 
   /// Messages this process has submitted.
@@ -63,6 +74,8 @@ class Stack : public Services {
   void consume_cpu(Duration d) override { endpoint_.network().consume_cpu(self(), d); }
   Tracer& tracer() override { return *tracer_; }
   MetricsRegistry* metrics() override { return metrics_; }
+  bool batching() const override { return batching_; }
+  TickArena* tick_arena() override { return &endpoint_.network().scheduler().tick_arena(); }
 
   LayerChain& chain() { return *chain_; }
   Endpoint& endpoint() { return endpoint_; }
@@ -71,6 +84,9 @@ class Stack : public Services {
   void to_network(Message m);
   void to_app(Message m);
   void on_packet(Packet p);
+  void to_network_batch(MessageBatch b);
+  void to_app_batch(MessageBatch b);
+  void on_packet_run(NodeId src, std::span<const Payload> run);
 
   Endpoint endpoint_;
   std::vector<NodeId> members_;
@@ -84,6 +100,8 @@ class Stack : public Services {
   DeliverFn on_deliver_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t delivered_ = 0;
+  bool batching_ = true;
+  std::vector<Payload> payload_scratch_;  // reused by to_network_batch
 };
 
 }  // namespace msw

@@ -91,6 +91,8 @@ class SwitchLayer : public Layer {
   void start() override;
   void down(Message m) override;
   void up(Message m) override;
+  void down_batch(MessageBatch b) override;
+  void up_batch(MessageBatch b) override;
 
   /// Ask this member to initiate a switch at the next NORMAL token,
   /// regardless of the oracle.

@@ -6,41 +6,40 @@ namespace msw {
 
 std::uint64_t Payload::cow_copies_ = 0;
 
-Payload::Payload(Bytes b) {
-  if (!b.empty()) {
-    len_ = b.size();
-    buf_ = std::make_shared<Bytes>(std::move(b));
-  }
-}
+Payload::Payload(Bytes b) : own_(std::move(b)), len_(own_.size()) {}
 
 void Payload::shrink(std::size_t new_len) {
   assert(new_len <= len_ && "shrink may only reduce the logical length");
   len_ = new_len;
 }
 
+void Payload::promote() const {
+  if (shared_ || own_.empty()) return;
+  shared_ = std::make_shared<Bytes>(std::move(own_));
+  own_.clear();
+}
+
 std::span<Byte> Payload::mutable_view() {
-  if (!buf_) return {};
-  make_unique_trimmed();
-  return std::span<Byte>(buf_->data(), len_);
+  if (!shared_ && own_.empty()) return {};
+  Bytes& b = begin_append();
+  return std::span<Byte>(b.data(), len_);
 }
 
 Bytes& Payload::begin_append() {
-  if (!buf_) {
-    buf_ = std::make_shared<Bytes>();
-    len_ = 0;
-    return *buf_;
+  if (!shared_) {
+    own_.resize(len_);  // trim any popped tail headers
+    return own_;
   }
-  make_unique_trimmed();
-  return *buf_;
-}
-
-void Payload::make_unique_trimmed() {
-  if (buf_.use_count() > 1) {
+  if (shared_.use_count() > 1) {
+    // Copy-on-write: clone the logical bytes back into the unique
+    // representation and let the shared buffer go.
     ++cow_copies_;
-    buf_ = std::make_shared<Bytes>(buf_->data(), buf_->data() + len_);
-  } else if (buf_->size() != len_) {
-    buf_->resize(len_);
+    own_.assign(shared_->data(), shared_->data() + len_);
+    shared_.reset();
+    return own_;
   }
+  shared_->resize(len_);
+  return *shared_;
 }
 
 }  // namespace msw

@@ -16,6 +16,12 @@
 // into a fresh buffer (copy-on-write, counted in cow_copies() so tests
 // and benches can assert copy behaviour). See DESIGN.md, "Performance
 // architecture", for the ownership rules.
+//
+// Ownership is promoted lazily: a freshly built Payload owns its bytes as
+// a plain vector (no refcount allocation); only the first copy moves the
+// buffer behind a shared_ptr. The common single-owner path — build, stamp
+// headers, hand to the wire, pop headers, deliver — therefore never pays
+// for a control block it does not use.
 #pragma once
 
 #include <cstdint>
@@ -33,15 +39,40 @@ class Payload {
   /// Wrap (by move) a flat buffer. Implicit: Bytes call sites keep working.
   Payload(Bytes b);  // NOLINT: implicit by design
 
-  /// Copying shares the underlying buffer; no bytes move.
-  Payload(const Payload&) = default;
-  Payload& operator=(const Payload&) = default;
-  Payload(Payload&&) noexcept = default;
-  Payload& operator=(Payload&&) noexcept = default;
+  /// Copying shares the underlying buffer; no bytes move (the source is
+  /// promoted to the shared representation if it was still unique).
+  Payload(const Payload& other) : len_(other.len_) {
+    other.promote();
+    shared_ = other.shared_;
+  }
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      other.promote();
+      own_.clear();
+      shared_ = other.shared_;
+      len_ = other.len_;
+    }
+    return *this;
+  }
+  Payload(Payload&& other) noexcept
+      : own_(std::move(other.own_)), shared_(std::move(other.shared_)), len_(other.len_) {
+    other.own_.clear();
+    other.len_ = 0;
+  }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      own_ = std::move(other.own_);
+      shared_ = std::move(other.shared_);
+      len_ = other.len_;
+      other.own_.clear();
+      other.len_ = 0;
+    }
+    return *this;
+  }
 
   /// Read-only view of the logical bytes.
   std::span<const Byte> view() const {
-    return buf_ ? std::span<const Byte>(buf_->data(), len_) : std::span<const Byte>();
+    return std::span<const Byte>(shared_ ? shared_->data() : own_.data(), len_);
   }
   operator std::span<const Byte>() const { return view(); }  // NOLINT: implicit by design
 
@@ -50,10 +81,13 @@ class Payload {
 
   /// Drop this view's reference to the buffer.
   void clear() {
-    buf_.reset();
+    own_.clear();
+    shared_.reset();
     len_ = 0;
   }
-  const Byte* data() const { return buf_ ? buf_->data() : nullptr; }
+  const Byte* data() const {
+    return shared_ ? shared_->data() : (own_.empty() ? nullptr : own_.data());
+  }
 
   /// Materialize a flat copy of the logical bytes.
   Bytes bytes() const {
@@ -63,7 +97,7 @@ class Payload {
 
   /// Number of Payloads sharing this buffer (0 for an empty payload).
   /// Used by tests to assert multicast fan-out aliases one body.
-  long use_count() const { return buf_ ? buf_.use_count() : 0; }
+  long use_count() const { return shared_ ? shared_.use_count() : (own_.empty() ? 0 : 1); }
 
   /// Zero-copy logical truncation to the first `new_len` bytes. This is
   /// how pop_header discards a consumed tail header without touching the
@@ -80,7 +114,7 @@ class Payload {
   /// end_append() re-syncs the logical length after the caller appended.
   /// No other mutation of the returned vector is permitted.
   Bytes& begin_append();
-  void end_append() { len_ = buf_->size(); }
+  void end_append() { len_ = shared_ ? shared_->size() : own_.size(); }
 
   /// Global count of copy-on-write clones since process start. The data
   /// plane's copy budget is observable: tests pin it down ("push_header
@@ -99,15 +133,21 @@ class Payload {
   friend bool operator==(const Bytes& a, const Payload& b) { return b == a; }
 
  private:
-  /// Ensure buf_ is uniquely owned and exactly len_ long.
-  void make_unique_trimmed();
+  /// Move a still-unique buffer behind the shared_ptr so copies can alias
+  /// it. Logically const: the bytes are unchanged, only the representation
+  /// shifts (hence the mutable members).
+  void promote() const;
 
   // The sim is single-threaded by construction (one Scheduler serializes
   // everything), so a plain counter suffices.
   static std::uint64_t cow_copies_;
 
-  std::shared_ptr<Bytes> buf_;  // null <=> empty payload
-  std::size_t len_ = 0;         // logical length; invariant len_ <= buf_->size()
+  // Exactly one representation is active: `own_` while uniquely owned
+  // (never copied since the last mutation), `shared_` once copied. Both
+  // empty <=> empty payload.
+  mutable Bytes own_;
+  mutable std::shared_ptr<Bytes> shared_;
+  std::size_t len_ = 0;  // logical length; invariant len_ <= buffer size
 };
 
 }  // namespace msw

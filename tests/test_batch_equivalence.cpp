@@ -1,0 +1,225 @@
+// Batched-vs-unbatched equivalence: the batched data plane (MessageBatch
+// dispatch, flat header encodes, one-scatter multicast fan-out, coalesced
+// delivery) must be an *optimization*, not a semantics change. For the
+// same seed and the same submitted sends, a run with batching on and a
+// run with batching off must produce, at every process, the identical
+// sequence of trace events — bodies, ids, order, and simulated
+// timestamps — plus identical network statistics (bytes on wire, copies
+// delivered) and identical protocol-layer counters.
+//
+// Comparison is per-process projection, not the global trace: coalescing
+// legitimately merges same-instant events into fewer scheduler slots, so
+// the interleaving *across* processes at one instant may differ while
+// every per-process history (the paper's system model: a trace is what a
+// process observes) is unchanged. See DESIGN.md section 11.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "proto/causal_layer.hpp"
+#include "proto/reliable_layer.hpp"
+#include "switch/hybrid.hpp"
+#include "trace/trace.hpp"
+
+namespace msw {
+namespace {
+
+using testing::GroupHarness;
+
+// ---------------------------------------------------------------------------
+// MessageBatch container basics
+// ---------------------------------------------------------------------------
+
+Message group_msg(const std::string& body) { return Message::group(to_bytes(body)); }
+
+TEST(MessageBatchContainer, PreservesOrderAcrossSpill) {
+  MessageBatch b;
+  const std::size_t n = MessageBatch::kInline * 3 + 1;
+  for (std::size_t i = 0; i < n; ++i) b.push_back(group_msg("m" + std::to_string(i)));
+  ASSERT_EQ(b.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(b[i].data, to_bytes("m" + std::to_string(i))) << "slot " << i;
+  }
+  std::size_t i = 0;
+  for (const Message& m : b) {
+    EXPECT_EQ(m.data, to_bytes("m" + std::to_string(i++)));
+  }
+}
+
+TEST(MessageBatchContainer, MoveEmptiesSource) {
+  MessageBatch a;
+  for (int i = 0; i < 20; ++i) a.push_back(group_msg("x"));
+  MessageBatch b = std::move(a);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserted contract
+  a.push_back(group_msg("fresh"));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence harness
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  Trace trace;
+  std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t> net;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t scheduler_events = 0;
+  // Summed protocol counters where the scenario's stack has a ReliableLayer.
+  std::uint64_t rel_nacks = 0, rel_retx = 0, rel_dups = 0;
+};
+
+/// One scenario run: `n` members on `cfg`, a fixed submission schedule
+/// (each entry = (time ms, sender, batch size)), everything seeded
+/// identically; only `batching` differs between the two arms.
+RunResult run_scenario(const LayerFactory& factory, NetConfig cfg, bool batching,
+                       std::size_t n, std::uint64_t seed, int reliable_at = -1) {
+  GroupHarness h(n, factory, cfg, seed);
+  h.group.set_batching(batching);
+  int k = 0;
+  for (int tick = 0; tick < 12; ++tick) {
+    const std::size_t sender = static_cast<std::size_t>(tick) % n;
+    const Time when = (10 + tick * 37) * kMillisecond;
+    const std::size_t batch = 1 + static_cast<std::size_t>(tick) % 5;
+    std::vector<Bytes> bodies;
+    for (std::size_t j = 0; j < batch; ++j) bodies.push_back(to_bytes("b" + std::to_string(k++)));
+    h.sim.scheduler().at(when, [&h, sender, bodies = std::move(bodies)]() mutable {
+      h.group.send_batch(sender, std::move(bodies));
+    });
+  }
+  h.sim.run_for(20 * kSecond);
+
+  RunResult r;
+  r.trace = h.group.trace();
+  const auto& s = h.net.stats();
+  r.net = {s.unicasts_sent, s.multicasts_sent, s.copies_delivered, s.copies_dropped_loss,
+           s.bytes_on_wire};
+  r.sent = h.group.total_sent();
+  r.delivered = h.group.total_delivered();
+  r.scheduler_events = h.sim.scheduler().executed();
+  if (reliable_at >= 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& rel = static_cast<ReliableLayer&>(
+          h.group.stack(i).chain().layer(static_cast<std::size_t>(reliable_at)));
+      r.rel_nacks += rel.stats().nacks_sent;
+      r.rel_retx += rel.stats().retransmissions;
+      r.rel_dups += rel.stats().duplicates_dropped;
+    }
+  }
+  return r;
+}
+
+std::vector<TraceEvent> project(const Trace& t, std::uint32_t process) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : t) {
+    if (e.process == process) out.push_back(e);
+  }
+  return out;
+}
+
+void expect_projections_identical(const Trace& batched, const Trace& unbatched) {
+  ASSERT_EQ(processes_of(batched), processes_of(unbatched));
+  for (std::uint32_t p : processes_of(unbatched)) {
+    const auto a = project(batched, p);
+    const auto b = project(unbatched, p);
+    ASSERT_EQ(a.size(), b.size()) << "process " << p << " event count diverged";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "process " << p << " event " << i << " diverged";
+      EXPECT_EQ(a[i].time, b[i].time)
+          << "process " << p << " event " << i << " shifted in simulated time";
+    }
+  }
+}
+
+void expect_equivalent(const RunResult& batched, const RunResult& unbatched) {
+  EXPECT_GT(unbatched.delivered, 0u) << "scenario delivered nothing; vacuous";
+  EXPECT_EQ(batched.sent, unbatched.sent);
+  EXPECT_EQ(batched.delivered, unbatched.delivered);
+  EXPECT_EQ(batched.net, unbatched.net)
+      << "wire statistics diverged (bytes/copies/multicasts must be identical)";
+  EXPECT_EQ(batched.rel_nacks, unbatched.rel_nacks);
+  EXPECT_EQ(batched.rel_retx, unbatched.rel_retx);
+  EXPECT_EQ(batched.rel_dups, unbatched.rel_dups);
+  expect_projections_identical(batched.trace, unbatched.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquivalence, ReliableFifoUnderRealisticLossyNet) {
+  // The full-cost model: CPU charges, bandwidth serialization, jitter and
+  // loss draws. Equivalence here proves the batched scatter consumes the
+  // per-link RNG streams and transmit-time reservations in exactly the
+  // per-message order.
+  NetConfig cfg = testing::era_net();
+  cfg.loss = 0.05;
+  const auto on = run_scenario(make_reliable_fifo_factory(), cfg, true, 5, 42, 1);
+  const auto off = run_scenario(make_reliable_fifo_factory(), cfg, false, 5, 42, 1);
+  expect_equivalent(on, off);
+}
+
+TEST(BatchEquivalence, SequencerUnderLoss) {
+  // Sequencer path: order requests, history retransmissions and gap NACKs
+  // interleave with the batched sequenced multicasts.
+  const auto on = run_scenario(make_sequencer_factory(), testing::lossy_net(0.1), true, 4, 7);
+  const auto off = run_scenario(make_sequencer_factory(), testing::lossy_net(0.1), false, 4, 7);
+  expect_equivalent(on, off);
+}
+
+TEST(BatchEquivalence, CausalOverReliable) {
+  const LayerFactory factory = [](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<CausalLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>());
+    return layers;
+  };
+  NetConfig cfg = testing::era_net();
+  cfg.loss = 0.03;
+  const auto on = run_scenario(factory, cfg, true, 4, 11, 1);
+  const auto off = run_scenario(factory, cfg, false, 4, 11, 1);
+  expect_equivalent(on, off);
+}
+
+TEST(BatchEquivalence, HybridTotalOrderAcrossASwitch) {
+  // The switching protocol mid-flight: batches straddle PREPARE/SWITCH
+  // token rotations, exercising the batch split at the SP epoch boundary
+  // and the control-frame flush rule in SwitchLayer::up_batch.
+  const auto run = [](bool batching) {
+    GroupHarness h(4, make_hybrid_total_order_factory(), testing::lossy_net(0.05), 99);
+    h.group.set_batching(batching);
+    int k = 0;
+    for (int tick = 0; tick < 14; ++tick) {
+      const std::size_t sender = static_cast<std::size_t>(tick) % 4;
+      std::vector<Bytes> bodies;
+      for (std::size_t j = 0; j < 3; ++j) bodies.push_back(to_bytes("s" + std::to_string(k++)));
+      h.sim.scheduler().at((15 + tick * 29) * kMillisecond,
+                           [&h, sender, bodies = std::move(bodies)]() mutable {
+                             h.group.send_batch(sender, std::move(bodies));
+                           });
+    }
+    h.sim.scheduler().at(150 * kMillisecond,
+                         [&h] { switch_layer_of(h.group.stack(1)).request_switch(); });
+    h.sim.run_for(20 * kSecond);
+    return h.group.trace();
+  };
+  const Trace on = run(true);
+  const Trace off = run(false);
+  EXPECT_FALSE(off.empty());
+  expect_projections_identical(on, off);
+}
+
+TEST(BatchEquivalence, CoalescingReducesSchedulerEvents) {
+  // Under the ideal cost model (no per-copy CPU, no serialization) the
+  // batched plane coalesces a whole run's arrivals at one destination
+  // into a single scheduler event — same deliveries, far fewer events.
+  const auto on = run_scenario(make_reliable_fifo_factory(), testing::ideal_net(), true, 6, 3, 1);
+  const auto off =
+      run_scenario(make_reliable_fifo_factory(), testing::ideal_net(), false, 6, 3, 1);
+  expect_equivalent(on, off);
+  EXPECT_LT(on.scheduler_events, off.scheduler_events)
+      << "batching under the ideal cost model must execute fewer scheduler events";
+}
+
+}  // namespace
+}  // namespace msw
