@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "monitor/monitor_set.hpp"
 #include "net/network.hpp"
 #include "proto/reliable_layer.hpp"
 #include "sim/simulation.hpp"
@@ -35,8 +36,10 @@ struct IterationPlan {
   std::vector<std::pair<Time, std::size_t>> switches;  // (when, initiator)
   std::uint64_t initial_epoch = 0;
   bool inject_flush_bug = false;
+  bool inject_selfnack_bug = false;
   bool reliable_base = false;
   bool capture_telemetry = false;
+  bool attach_monitors = false;
   std::size_t telemetry_ring = 4096;
   /// When non-empty, execute() also renders a flight record with this
   /// failure reason (the shrinker's final capture run).
@@ -77,8 +80,10 @@ IterationPlan make_plan(std::uint64_t seed, const FuzzConfig& cfg) {
   }
   plan.initial_epoch = rng.chance(0.5) ? 1 : 0;
   plan.inject_flush_bug = cfg.inject_flush_bug;
+  plan.inject_selfnack_bug = cfg.inject_selfnack_bug;
   plan.reliable_base = cfg.reliable_base;
   plan.capture_telemetry = cfg.capture_telemetry;
+  plan.attach_monitors = cfg.attach_monitors;
   plan.telemetry_ring = cfg.telemetry_ring;
   return plan;
 }
@@ -92,6 +97,10 @@ struct RunObservation {
   std::vector<std::size_t> buffered;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  // Streaming-monitor verdict (attach_monitors only).
+  bool monitor_ok = true;
+  std::string monitor_reason;
+  std::size_t monitor_cells = 0;
   // Telemetry exports (capture_telemetry only). Rendered inside execute()
   // because the hub dies with the Simulation.
   std::string chrome_trace;
@@ -111,6 +120,7 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   HybridConfig hybrid;
   hybrid.sp.initial_epoch = plan.initial_epoch;
   if (plan.inject_flush_bug) hybrid.sp.fault_skip_count_sender = 0;
+  if (plan.inject_selfnack_bug) hybrid.sequencer.fault_skip_self_refill = true;
   LayerFactory factory = make_hybrid_total_order_factory(hybrid);
   if (plan.reliable_base) {
     // Slot a ReliableLayer under the switching stack. Sequencer/token do
@@ -124,6 +134,17 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
       layers.push_back(std::make_unique<ReliableLayer>(rcfg));
       return layers;
     };
+  }
+  // The monitors consume the telemetry stream of the same run the oracle
+  // will judge from the buffered trace. Constructed before the Group so
+  // they see every event from the first send on; destroyed (detached) when
+  // this frame unwinds, after the simulation stops running.
+  std::unique_ptr<MonitorSet> monitors;
+  if (plan.attach_monitors) {
+    MonitorOptions mopts;
+    mopts.members = plan.members;
+    monitors = std::make_unique<MonitorSet>(sim.telemetry(), mopts);
+    monitors->attach_hybrid_suite();
   }
   Group group(sim, net, plan.members, factory);
 
@@ -180,6 +201,12 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   }
   obs.sent = group.total_sent();
   obs.delivered = group.total_delivered();
+  if (monitors) {
+    monitors->finalize(sim.now());
+    obs.monitor_ok = monitors->ok();
+    obs.monitor_reason = monitors->first_reason();
+    obs.monitor_cells = monitors->state_cells();
+  }
 
   const TelemetryHub& hub = sim.telemetry();
   if (plan.capture_telemetry) {
@@ -312,6 +339,7 @@ std::string make_repro(std::uint64_t seed, const FuzzConfig& cfg, const FaultSch
   os << "fuzz_switch --seed " << seed;
   if (cfg.enable_crash) os << " --crash";
   if (cfg.inject_flush_bug) os << " --inject-flush-bug";
+  if (cfg.inject_selfnack_bug) os << " --inject-selfnack-bug";
   if (cfg.reliable_base) os << " --reliable-base";
   // Member bounds feed the seed-derived plan, so non-default values are
   // part of the reproducer.
@@ -392,6 +420,9 @@ FuzzIteration run_fuzz_iteration(std::uint64_t seed, const FuzzConfig& cfg,
   it.delivered = obs.delivered;
   it.reason = check_oracle(plan, obs);
   it.ok = it.reason.empty();
+  it.monitor_ok = obs.monitor_ok;
+  it.monitor_reason = std::move(obs.monitor_reason);
+  it.monitor_cells = obs.monitor_cells;
   it.chrome_trace = std::move(obs.chrome_trace);
   it.events_jsonl = std::move(obs.events_jsonl);
   it.metrics_json = std::move(obs.metrics_json);

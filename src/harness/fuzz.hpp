@@ -50,6 +50,14 @@ struct FuzzConfig {
   bool capture_telemetry = false;
   /// Ring capacity (events per node) when telemetry is armed.
   std::size_t telemetry_ring = 4096;
+  /// Attach the streaming property monitors (src/monitor/) alongside the
+  /// buffered trace oracle and record their independent verdict in
+  /// FuzzIteration::monitor_ok / monitor_reason — the oracle-parity path.
+  bool attach_monitors = false;
+  /// DELIBERATE SEQUENCER BUG (monitor self-test): the sequencer never
+  /// refills its own delivery gaps from local history, re-introducing the
+  /// historical crashed-sequencer reliability bug.
+  bool inject_selfnack_bug = false;
 };
 
 struct FuzzIteration {
@@ -64,6 +72,13 @@ struct FuzzIteration {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   FaultSchedule schedule;
+  /// Streaming-monitor verdict (meaningful only with cfg.attach_monitors):
+  /// the monitors consume the same run as a telemetry stream and judge it
+  /// independently of the buffered trace oracle.
+  bool monitor_ok = true;
+  std::string monitor_reason;
+  /// MonitorSet::state_cells() at quiescence — the bounded-memory witness.
+  std::size_t monitor_cells = 0;
   /// Per-member end state ("i: epoch=E switching=S buffered=B" lines) —
   /// diagnostic detail for replaying reproducers.
   std::string state;

@@ -32,6 +32,11 @@ namespace {
                "  --members-max N     largest generated group (default 8)\n"
                "  --inject-flush-bug  enable the deliberate SP drain-count bug; the oracle\n"
                "                      must then report failures (exit code flips: 0 iff caught)\n"
+               "  --inject-selfnack-bug  enable the deliberate sequencer self-refill bug\n"
+               "                      (reliability hole after a sequencer crash); exit code\n"
+               "                      flips like --inject-flush-bug\n"
+               "  --monitors          attach the streaming property monitors alongside the\n"
+               "                      buffered oracle; exit 1 if their verdicts ever disagree\n"
                "  --time-budget S     stop early after S wall seconds (breaks digest\n"
                "                      comparability between runs that cut off differently)\n"
                "  --schedule STR      run a single iteration with this exact fault schedule\n"
@@ -88,6 +93,10 @@ int main(int argc, char** argv) {
       cfg.max_members = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--inject-flush-bug") {
       cfg.inject_flush_bug = true;
+    } else if (arg == "--inject-selfnack-bug") {
+      cfg.inject_selfnack_bug = true;
+    } else if (arg == "--monitors") {
+      cfg.attach_monitors = true;
     } else if (arg == "--time-budget") {
       time_budget = std::strtod(value(), nullptr);
     } else if (arg == "--schedule") {
@@ -167,16 +176,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(it.delivered),
                 static_cast<unsigned long long>(it.digest),
                 it.ok ? "OK" : ("FAIL: " + it.reason).c_str());
+    if (cfg.attach_monitors) {
+      std::printf("monitors: %s cells=%zu\n",
+                  it.monitor_ok ? "OK" : ("FAIL: " + it.monitor_reason).c_str(),
+                  it.monitor_cells);
+      if (it.monitor_ok != it.ok) {
+        std::printf("PARITY MISMATCH: oracle and monitors disagree\n");
+        return 1;
+      }
+    }
     if (verbose) std::fputs(it.state.c_str(), stdout);
     write_exports(it);
     return it.ok ? 0 : 1;
   }
 
   std::size_t done = 0;
+  std::size_t parity_mismatches = 0;
   const msw::FuzzSummary summary =
       msw::run_fuzz(seed, iters, cfg, [&](const msw::FuzzIteration& it) {
         ++done;
         if (done == 1 && cfg.capture_telemetry) write_exports(it);
+        if (cfg.attach_monitors && it.monitor_ok != it.ok) {
+          ++parity_mismatches;
+          std::printf("PARITY MISMATCH seed=%llu oracle=%s monitors=%s\n",
+                      static_cast<unsigned long long>(it.seed),
+                      it.ok ? "ok" : it.reason.c_str(),
+                      it.monitor_ok ? "ok" : it.monitor_reason.c_str());
+        }
         if (verbose) {
           std::printf("iter seed=%llu members=%zu sent=%llu digest=%016llx %s\n",
                       static_cast<unsigned long long>(it.seed), it.members,
@@ -211,12 +237,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "elapsed %.1f s (%.1f iters/s)\n", elapsed(),
                summary.iterations / std::max(elapsed(), 1e-9));
 
-  if (cfg.inject_flush_bug) {
+  if (cfg.attach_monitors) {
+    std::printf("monitor parity: %zu/%zu iterations agree\n", done - parity_mismatches, done);
+  }
+  if (cfg.inject_flush_bug || cfg.inject_selfnack_bug) {
     // Oracle self-test: success means the deliberate bug WAS caught.
     const bool caught = !summary.failures.empty();
-    std::printf("oracle self-test: injected FLUSH-count bug %s\n",
+    std::printf("oracle self-test: injected %s bug %s\n",
+                cfg.inject_flush_bug ? "FLUSH-count" : "sequencer self-refill",
                 caught ? "caught" : "NOT caught");
-    return caught ? 0 : 1;
+    return caught && parity_mismatches == 0 ? 0 : 1;
   }
-  return summary.failures.empty() ? 0 : 1;
+  return summary.failures.empty() && parity_mismatches == 0 ? 0 : 1;
 }

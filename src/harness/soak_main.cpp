@@ -1,0 +1,130 @@
+// soak: million-message correctness soak (see harness/soak.hpp).
+//
+//   soak --messages 10000000                       # the full campaign run
+//   soak --messages 1000000 --seed 7 --members 8   # smaller, different mix
+//
+// Exit code 0 iff the run completed with zero property violations and the
+// monitor footprint stayed under the O(members)-derived cell budget. On
+// failure the flight-recorder dump is written next to the binary (or to
+// --dump-dir) as soak_flight_seed<N>.jsonl.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/soak.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --seed N             rng seed (default 1)\n"
+               "  --members N          group size (default 12, max 64)\n"
+               "  --messages N         total application sends (default 1000000)\n"
+               "  --batch N            messages per batched send (default 8)\n"
+               "  --payload N          payload bytes per message (default 32)\n"
+               "  --loss P             per-link loss probability (default 0.01)\n"
+               "  --dup P              duplicate probability (default 0.01)\n"
+               "  --reorder P          reorder probability (default 0.02)\n"
+               "  --churn-ms N         ms between crash/restart pairs (default 10000; 0 off)\n"
+               "  --downtime-ms N      crash downtime ms (default 1000)\n"
+               "  --switch-ms N        ms between protocol switches (default 5000; 0 off)\n"
+               "  --sample N           monitor sampling period, 1 = check all (default 1)\n"
+               "  --window N           monitor window cap (default 32768)\n"
+               "  --quiet              suppress per-chunk progress on stderr\n"
+               "  --dump-dir D         directory for the flight record on failure (default .)\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  msw::SoakConfig cfg;
+  std::string dump_dir = ".";
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      cfg.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--members") {
+      cfg.members = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--messages") {
+      cfg.messages = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--batch") {
+      cfg.batch = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--payload") {
+      cfg.payload_bytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--loss") {
+      cfg.loss = std::strtod(value(), nullptr);
+    } else if (arg == "--dup") {
+      cfg.dup_prob = std::strtod(value(), nullptr);
+    } else if (arg == "--reorder") {
+      cfg.reorder_prob = std::strtod(value(), nullptr);
+    } else if (arg == "--churn-ms") {
+      cfg.churn_interval = std::strtoull(value(), nullptr, 10) * msw::kMillisecond;
+    } else if (arg == "--downtime-ms") {
+      cfg.crash_downtime = std::strtoull(value(), nullptr, 10) * msw::kMillisecond;
+    } else if (arg == "--switch-ms") {
+      cfg.switch_interval = std::strtoull(value(), nullptr, 10) * msw::kMillisecond;
+    } else if (arg == "--sample") {
+      cfg.sample_period = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--window") {
+      cfg.window_cap = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--dump-dir") {
+      dump_dir = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cfg.members < 2 || cfg.members > 64 || cfg.messages == 0 || cfg.batch == 0 ||
+      cfg.sample_period == 0) {
+    std::fprintf(stderr, "need 2 <= --members <= 64, --messages/--batch/--sample > 0\n");
+    return 2;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  msw::Time last_report = 0;
+  const msw::SoakResult res =
+      msw::run_soak(cfg, [&](msw::Time now, std::uint64_t delivered) {
+        if (!quiet && now - last_report >= 10 * msw::kSecond) {
+          last_report = now;
+          const double wall =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          std::fprintf(stderr, "  t=%llus delivered=%llu wall=%.1fs\n",
+                       static_cast<unsigned long long>(now / msw::kSecond),
+                       static_cast<unsigned long long>(delivered), wall);
+        }
+        return true;
+      });
+
+  std::printf("%s\n", res.summary_line.c_str());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::fprintf(stderr, "elapsed %.1f s (%.0f msgs/s)\n", wall,
+               static_cast<double>(res.sent) / (wall > 0 ? wall : 1));
+
+  if (!res.ok && !res.flight_record.empty()) {
+    const std::string path =
+        dump_dir + "/soak_flight_seed" + std::to_string(cfg.seed) + ".jsonl";
+    std::ofstream os(path, std::ios::binary);
+    if (os) {
+      os << res.flight_record;
+      std::printf("flight record: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write flight record %s\n", path.c_str());
+    }
+  }
+  return res.ok ? 0 : 1;
+}

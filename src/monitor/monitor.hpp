@@ -1,0 +1,113 @@
+// Streaming, bounded-memory property monitors.
+//
+// The trace oracle (trace/properties.hpp + harness/fuzz.cpp) buffers whole
+// runs and judges them post-hoc — exact, but O(messages) memory, which is
+// unusable at soak scale. The monitors here consume the same run as a
+// stream of typed telemetry events (app.send / app.deliver /
+// sp.epoch.install, see telemetry/events.hpp) and keep only
+// O(members + window) state, so the correctness plane runs at the same
+// scale as the perf plane.
+//
+// Verdict model: a monitor never buffers history to re-examine; each event
+// either advances bounded state or fires a Violation. Violations are
+// appended to a shared capped log (first kMaxViolations kept verbatim, the
+// rest counted), so a pathological run cannot make the checker itself
+// unbounded. finalize() runs end-of-stream checks (completeness,
+// convergence) once the harness has reached quiescence.
+//
+// Sampling: MonitorSet can thin the windowed order checks by message
+// identity — all events of a kept message are kept at every member, so
+// window positions stay consistent across the group. Counting checks
+// (reliability totals, per-member epoch monotonicity) always see every
+// event; only the per-message window state is thinned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace msw {
+
+/// One property failure, with enough identity to act on the report: which
+/// member observed it, which message (sender/seq) and epoch were involved.
+struct Violation {
+  std::string property;  // "fifo", "causal", "total_order", "epoch", "reliable"
+  std::string detail;    // human-readable explanation
+  std::uint32_t node = 0;
+  std::uint32_t sender = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+  Time t = 0;
+};
+
+/// Capped violation sink shared by all monitors of a MonitorSet.
+class ViolationLog {
+ public:
+  static constexpr std::size_t kMaxViolations = 64;
+
+  void report(Violation v) {
+    ++total_;
+    if (kept_.size() < kMaxViolations) kept_.push_back(std::move(v));
+  }
+
+  bool ok() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+  const std::vector<Violation>& kept() const { return kept_; }
+  /// First violation rendered as "property: detail", or "" when clean —
+  /// shaped like the trace oracle's reason string.
+  std::string first_reason() const;
+
+ private:
+  std::vector<Violation> kept_;
+  std::uint64_t total_ = 0;
+};
+
+/// Typed view of one app.deliver event.
+struct DeliverObs {
+  std::uint32_t node = 0;    // receiving member
+  std::uint32_t sender = 0;  // originating member
+  std::uint64_t seq = 0;     // per-sender dense sequence number
+  std::uint64_t epoch = 0;   // SP epoch the delivery ran under
+  std::uint64_t incarnation = 0;
+  bool view = false;  // membership message, not application data
+  bool sampled = true;  // false when the sampling knob thinned this message
+  Time t = 0;
+};
+
+/// Streaming property checker. Handlers must be O(1) or O(members) per
+/// event and must not buffer unbounded history; state_cells() reports the
+/// current footprint so harnesses can assert flatness.
+class Monitor {
+ public:
+  explicit Monitor(ViolationLog& log) : log_(log) {}
+  virtual ~Monitor() = default;
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  virtual std::string_view property() const = 0;
+
+  virtual void on_send(std::uint32_t node, std::uint64_t seq, bool sampled, Time t) {
+    (void)node, (void)seq, (void)sampled, (void)t;
+  }
+  virtual void on_deliver(const DeliverObs& d) { (void)d; }
+  virtual void on_epoch_install(std::uint32_t node, std::uint64_t epoch, Time t) {
+    (void)node, (void)epoch, (void)t;
+  }
+  /// End-of-stream checks, called once at quiescence. now = sim time then.
+  virtual void finalize(Time now) { (void)now; }
+
+  /// Current state footprint in cells (map entries, window slots, interval
+  /// runs...). The unit is deliberately coarse: the contract is that this
+  /// number stays flat as messages flow, not what exactly a cell costs.
+  virtual std::size_t state_cells() const = 0;
+
+ protected:
+  void report(Violation v) { log_.report(std::move(v)); }
+  ViolationLog& log_;
+};
+
+}  // namespace msw

@@ -1,0 +1,125 @@
+#include "monitor/monitor_set.hpp"
+
+#include <sstream>
+
+#include "telemetry/hub.hpp"
+
+namespace msw {
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MonitorSet::MonitorSet(TelemetryHub& hub, MonitorOptions opts)
+    : hub_(hub), opts_(opts), sent_count_(opts.members, 0) {
+  // Interning is idempotent per NameTable, so the ids match whatever the
+  // stacks intern at wiring time — before or after this constructor runs.
+  n_send_ = hub.names().intern("app.send");
+  n_deliver_ = hub.names().intern("app.deliver");
+  n_epoch_install_ = hub.names().intern("sp.epoch.install");
+  hub.attach_sink(this);
+}
+
+MonitorSet::~MonitorSet() {
+  if (hub_.sink() == this) hub_.detach_sink();
+}
+
+void MonitorSet::add_total_order() {
+  auto m = std::make_unique<TotalOrderMonitor>(log_, opts_.members, opts_.window_cap,
+                                               opts_.check_epoch_consistency);
+  total_order_ = m.get();
+  monitors_.push_back(std::move(m));
+}
+
+void MonitorSet::add_epoch() {
+  auto m = std::make_unique<EpochMonitor>(log_, opts_.members);
+  epoch_ = m.get();
+  monitors_.push_back(std::move(m));
+}
+
+void MonitorSet::add_reliable() {
+  auto m = std::make_unique<ReliableMonitor>(log_, opts_.members, opts_.stall_window);
+  reliable_ = m.get();
+  monitors_.push_back(std::move(m));
+}
+
+void MonitorSet::add_fifo() {
+  monitors_.push_back(std::make_unique<FifoMonitor>(log_, opts_.members));
+}
+
+void MonitorSet::add_causal() {
+  monitors_.push_back(std::make_unique<CausalMonitor>(log_, opts_.members, opts_.window_cap));
+}
+
+void MonitorSet::attach_hybrid_suite() {
+  add_total_order();
+  add_epoch();
+  add_reliable();
+}
+
+bool MonitorSet::keep(std::uint32_t sender, std::uint64_t seq) const {
+  if (opts_.sample_period <= 1) return true;
+  return mix64(msg_key(sender, seq)) % opts_.sample_period == 0;
+}
+
+void MonitorSet::on_telemetry(const TelemetryEvent& e) {
+  if (e.kind != EventKind::kInstant) return;
+  if (e.name == n_send_) {
+    ++sends_seen_;
+    if (e.node < sent_count_.size()) {
+      sent_count_[e.node] = std::max(sent_count_[e.node], e.arg + 1);
+    }
+    const bool sampled = keep(e.node, e.arg);
+    if (!sampled) ++sampled_out_;
+    for (auto& m : monitors_) m->on_send(e.node, e.arg, sampled, e.t);
+    return;
+  }
+  if (e.name == n_deliver_) {
+    ++delivers_seen_;
+    DeliverObs d;
+    d.node = e.node;
+    d.sender = static_cast<std::uint32_t>(e.arg2 & kDeliverSenderMask);
+    d.seq = e.arg;
+    d.epoch = e.epoch;
+    d.incarnation = e.incarnation;
+    d.view = (e.arg2 & kDeliverViewFlag) != 0;
+    d.t = e.t;
+    if (d.view) {
+      ++view_delivers_;
+    } else if (d.sender >= sent_count_.size() || d.seq >= sent_count_[d.sender]) {
+      std::ostringstream os;
+      os << "spurious delivery of (" << d.sender << "," << d.seq << ") at member " << d.node
+         << " (sender has sent "
+         << (d.sender < sent_count_.size() ? sent_count_[d.sender] : 0) << ")";
+      log_.report({"agreement", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+      return;
+    }
+    d.sampled = keep(d.sender, d.seq);
+    for (auto& m : monitors_) m->on_deliver(d);
+    return;
+  }
+  if (e.name == n_epoch_install_) {
+    for (auto& m : monitors_) m->on_epoch_install(e.node, e.arg, e.t);
+  }
+}
+
+void MonitorSet::finalize(Time now) {
+  for (auto& m : monitors_) m->finalize(now);
+}
+
+void MonitorSet::check_stalls(Time now) {
+  if (reliable_) reliable_->check_stalls(now);
+}
+
+std::size_t MonitorSet::state_cells() const {
+  std::size_t cells = sent_count_.size();
+  for (const auto& m : monitors_) cells += m->state_cells();
+  return cells;
+}
+
+}  // namespace msw

@@ -1,0 +1,101 @@
+// MonitorSet: the bridge between the telemetry plane and the property
+// monitors. It is the one TelemetrySink of a run — attached via
+// TelemetryHub::attach_sink, it decodes the typed app.send / app.deliver /
+// sp.epoch.install instants and fans them out to whichever monitors were
+// added, applying the sampling knob and the shared spurious-delivery check
+// (a delivered seq at or beyond the sender's observed send count was never
+// sent — O(members) state, no sent-set needed because Stack seqs are
+// dense).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "monitor/monitors.hpp"
+#include "telemetry/events.hpp"
+
+namespace msw {
+
+class TelemetryHub;
+
+struct MonitorOptions {
+  std::size_t members = 0;  // required; monitors support up to 64 members
+  /// Keep 1-in-N messages (by identity hash, consistent across members) in
+  /// the windowed order/causal checks. 1 = check everything. Counting
+  /// checks (reliable, epoch, fifo) always see every event.
+  std::uint64_t sample_period = 1;
+  /// Max in-flight entries held by the order/causal windows. Overflow is
+  /// itself reported as a violation (a member lagging unboundedly).
+  std::size_t window_cap = 1 << 16;
+  /// Age after which a delivery hole behind later traffic is a loss
+  /// (ReliableMonitor::check_stalls). 0 disables streaming stall checks.
+  Time stall_window = 0;
+  /// Cross-check that all members deliver a message under one SP epoch
+  /// (needs a SwitchLayer in the stack to be meaningful).
+  bool check_epoch_consistency = true;
+};
+
+class MonitorSet : public TelemetrySink {
+ public:
+  /// Interns the event names it dispatches on and attaches itself as the
+  /// hub's sink. Detaches on destruction. The set must outlive the last
+  /// telemetry emission or be destroyed after the Simulation stops running.
+  MonitorSet(TelemetryHub& hub, MonitorOptions opts);
+  ~MonitorSet() override;
+
+  /// Property attachment — add what the stack under test claims.
+  /// The hybrid sequencer/token stack claims total order + epochs +
+  /// reliability (it does NOT claim per-sender FIFO: the sequencer orders
+  /// whatever reaches it first).
+  void add_total_order();
+  void add_epoch();
+  void add_reliable();
+  void add_fifo();
+  void add_causal();
+  void attach_hybrid_suite();
+
+  void on_telemetry(const TelemetryEvent& e) override;
+
+  /// End-of-stream checks; call once at quiescence.
+  void finalize(Time now);
+  /// Streaming stall scan; call once per harness chunk.
+  void check_stalls(Time now);
+
+  bool ok() const { return log_.ok(); }
+  const ViolationLog& violations() const { return log_; }
+  std::string first_reason() const { return log_.first_reason(); }
+
+  /// Current footprint across all monitors plus the set's own state.
+  std::size_t state_cells() const;
+  std::uint64_t sends_seen() const { return sends_seen_; }
+  std::uint64_t delivers_seen() const { return delivers_seen_; }
+  std::uint64_t sampled_out() const { return sampled_out_; }
+
+  TotalOrderMonitor* total_order() { return total_order_; }
+  ReliableMonitor* reliable() { return reliable_; }
+  EpochMonitor* epoch() { return epoch_; }
+
+ private:
+  bool keep(std::uint32_t sender, std::uint64_t seq) const;
+
+  TelemetryHub& hub_;
+  MonitorOptions opts_;
+  ViolationLog log_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  TotalOrderMonitor* total_order_ = nullptr;
+  ReliableMonitor* reliable_ = nullptr;
+  EpochMonitor* epoch_ = nullptr;
+
+  std::uint32_t n_send_ = 0;
+  std::uint32_t n_deliver_ = 0;
+  std::uint32_t n_epoch_install_ = 0;
+
+  std::vector<std::uint64_t> sent_count_;  // per sender: dense send count
+  std::uint64_t sends_seen_ = 0;
+  std::uint64_t delivers_seen_ = 0;
+  std::uint64_t view_delivers_ = 0;
+  std::uint64_t sampled_out_ = 0;
+};
+
+}  // namespace msw

@@ -1,0 +1,326 @@
+#include "monitor/monitors.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace msw {
+
+std::string ViolationLog::first_reason() const {
+  if (kept_.empty()) return {};
+  return kept_.front().property + ": " + kept_.front().detail;
+}
+
+namespace {
+
+std::uint64_t bit(std::uint32_t node) { return std::uint64_t{1} << node; }
+
+std::uint64_t full_mask_for(std::size_t members) {
+  return members >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << members) - 1;
+}
+
+std::string msg_str(std::uint32_t sender, std::uint64_t seq) {
+  std::ostringstream os;
+  os << "(" << sender << "," << seq << ")";
+  return os.str();
+}
+
+/// Epoch counters may wrap u64; a drop by more than half the range is the
+/// wrap (monotone in epoch space), anything else is a genuine regression.
+bool epoch_regressed(std::uint64_t prev, std::uint64_t next) {
+  return next < prev && prev - next <= (~std::uint64_t{0} >> 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FIFO
+
+FifoMonitor::FifoMonitor(ViolationLog& log, std::size_t members)
+    : Monitor(log), n_(members), last_(members * members, 0) {}
+
+void FifoMonitor::on_deliver(const DeliverObs& d) {
+  if (d.view || d.node >= n_ || d.sender >= n_) return;
+  std::uint64_t& last = last_[d.node * n_ + d.sender];
+  if (last != 0 && d.seq < last) {
+    std::ostringstream os;
+    os << "member " << d.node << " delivered " << msg_str(d.sender, d.seq)
+       << (d.seq + 1 == last ? " again (duplicate)" : " after a later one")
+       << " (last seq " << last - 1 << ")";
+    report({"fifo", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+    return;
+  }
+  last = d.seq + 1;
+}
+
+// -------------------------------------------------------------- causal
+
+CausalMonitor::CausalMonitor(ViolationLog& log, std::size_t members, std::size_t window_cap)
+    : Monitor(log),
+      n_(members),
+      window_cap_(window_cap == 0 ? 1 : window_cap),
+      full_mask_(full_mask_for(members)),
+      delivered_(members * members, 0) {}
+
+void CausalMonitor::on_send(std::uint32_t node, std::uint64_t seq, bool /*sampled*/, Time t) {
+  if (node >= n_) return;
+  Entry e;
+  e.sender = node;
+  e.seq = seq;
+  // Causal deps: everything the sender had delivered, plus its own earlier
+  // sends (FIFO makes those a dependency even before self-delivery).
+  e.vc.assign(delivered_.begin() + node * n_, delivered_.begin() + (node + 1) * n_);
+  e.vc[node] = std::max(e.vc[node], seq);
+  if (window_.size() >= window_cap_) {
+    if (!overflow_reported_) {
+      overflow_reported_ = true;
+      report({"causal", "dependency window overflowed its cap — some member lags unboundedly",
+              node, node, seq, 0, t});
+    }
+    index_.erase(msg_key(window_.front().sender, window_.front().seq));
+    window_.pop_front();
+    ++front_serial_;
+  }
+  index_.emplace(msg_key(node, seq), next_serial_++);
+  window_.push_back(std::move(e));
+}
+
+void CausalMonitor::on_deliver(const DeliverObs& d) {
+  if (d.view || d.node >= n_ || d.sender >= n_) return;
+  const auto it = index_.find(msg_key(d.sender, d.seq));
+  if (it != index_.end()) {
+    Entry& e = window_[it->second - front_serial_];
+    for (std::size_t a = 0; a < n_; ++a) {
+      if (delivered_[d.node * n_ + a] < e.vc[a]) {
+        std::ostringstream os;
+        os << "member " << d.node << " delivered " << msg_str(d.sender, d.seq)
+           << " before its dependency from sender " << a << " (has "
+           << delivered_[d.node * n_ + a] << ", needs " << e.vc[a] << ")";
+        report({"causal", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+        break;
+      }
+    }
+    e.mask |= bit(d.node);
+    while (!window_.empty() && window_.front().mask == full_mask_) {
+      index_.erase(msg_key(window_.front().sender, window_.front().seq));
+      window_.pop_front();
+      ++front_serial_;
+    }
+  }
+  ++delivered_[d.node * n_ + d.sender];
+}
+
+std::size_t CausalMonitor::state_cells() const {
+  return delivered_.size() + window_.size() * (n_ + 2);
+}
+
+// --------------------------------------------------------- total order
+
+TotalOrderMonitor::TotalOrderMonitor(ViolationLog& log, std::size_t members,
+                                     std::size_t window_cap, bool check_epoch_consistency)
+    : Monitor(log),
+      n_(members),
+      window_cap_(window_cap == 0 ? 1 : window_cap),
+      check_epoch_(check_epoch_consistency),
+      full_mask_(full_mask_for(members)),
+      pos_(members, 0) {}
+
+void TotalOrderMonitor::retire_front() {
+  index_.erase(msg_key(window_.front().sender, window_.front().seq));
+  window_.pop_front();
+  ++front_pos_;
+}
+
+void TotalOrderMonitor::on_deliver(const DeliverObs& d) {
+  if (d.view || !d.sampled || d.node >= n_ || d.sender >= n_) return;
+  const std::uint64_t p = pos_[d.node];
+  const auto it = index_.find(msg_key(d.sender, d.seq));
+  if (it == index_.end()) {
+    // First delivery anywhere: this member extends the group order, so its
+    // own position must be the tip. A mismatch is either order divergence
+    // or a re-delivery of an already-retired message.
+    if (p != next_pos_) {
+      std::ostringstream os;
+      os << "member " << d.node << " delivered " << msg_str(d.sender, d.seq)
+         << " as its delivery #" << p << " but the group order has " << next_pos_
+         << " messages (divergent order or duplicate of a retired message)";
+      report({"total_order", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+    }
+    if (window_.size() >= window_cap_) {
+      if (!overflow_reported_) {
+        overflow_reported_ = true;
+        report({"total_order",
+                "order window overflowed its cap — some member lags unboundedly", d.node,
+                d.sender, d.seq, d.epoch, d.t});
+      }
+      retire_front();
+    }
+    index_.emplace(msg_key(d.sender, d.seq), next_pos_);
+    window_.push_back(Entry{d.sender, d.seq, d.epoch, bit(d.node)});
+    ++next_pos_;
+    pos_[d.node] = p + 1;
+    return;
+  }
+  const std::uint64_t g = it->second;
+  Entry& e = window_[g - front_pos_];
+  if (e.mask & bit(d.node)) {
+    std::ostringstream os;
+    os << "duplicate delivery of " << msg_str(d.sender, d.seq) << " at member " << d.node;
+    report({"total_order", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+    return;  // a duplicate does not advance the member's position
+  }
+  if (g != p) {
+    std::ostringstream os;
+    os << "member " << d.node << " delivered " << msg_str(d.sender, d.seq) << " as its delivery #"
+       << p << " but the group order has it at position " << g;
+    report({"total_order", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+  }
+  if (check_epoch_ && e.epoch != d.epoch) {
+    std::ostringstream os;
+    os << "message " << msg_str(d.sender, d.seq) << " delivered in epoch " << e.epoch
+       << " at one member but " << d.epoch << " at member " << d.node;
+    report({"epoch", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+  }
+  e.mask |= bit(d.node);
+  pos_[d.node] = p + 1;
+  while (!window_.empty() && window_.front().mask == full_mask_) retire_front();
+}
+
+void TotalOrderMonitor::finalize(Time now) {
+  if (window_.empty()) return;
+  const Entry& e = window_.front();
+  std::uint32_t missing = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!(e.mask & bit(i))) {
+      missing = i;
+      break;
+    }
+  }
+  std::ostringstream os;
+  os << window_.size() << " message(s) not delivered by every member at quiescence; oldest is "
+     << msg_str(e.sender, e.seq) << ", first missing member " << missing;
+  report({"total_order", os.str(), missing, e.sender, e.seq, e.epoch, now});
+}
+
+// --------------------------------------------------------------- epoch
+
+EpochMonitor::EpochMonitor(ViolationLog& log, std::size_t members)
+    : Monitor(log), n_(members), last_epoch_(members, 0), has_(members, false) {}
+
+void EpochMonitor::observe(std::uint32_t node, std::uint64_t epoch, Time t, bool install) {
+  if (node >= n_) return;
+  if (has_[node] && epoch_regressed(last_epoch_[node], epoch)) {
+    std::ostringstream os;
+    os << "old-before-new violated at member " << node << ": epoch " << last_epoch_[node]
+       << " then " << epoch << (install ? " (install)" : " (delivery)");
+    report({"epoch", os.str(), node, node, 0, epoch, t});
+  }
+  last_epoch_[node] = epoch;
+  has_[node] = true;
+}
+
+void EpochMonitor::on_deliver(const DeliverObs& d) {
+  if (d.view) return;
+  observe(d.node, d.epoch, d.t, false);
+}
+
+void EpochMonitor::on_epoch_install(std::uint32_t node, std::uint64_t epoch, Time t) {
+  ++installs_;
+  observe(node, epoch, t, true);
+}
+
+void EpochMonitor::finalize(Time now) {
+  // Convergence: all members with any epoch evidence ended on one epoch.
+  // Members with no evidence (never delivered, never switched) are skipped
+  // — the stream cannot know their initial epoch.
+  bool have_ref = false;
+  std::uint64_t ref = 0;
+  std::uint32_t ref_node = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!has_[i]) continue;
+    if (!have_ref) {
+      have_ref = true;
+      ref = last_epoch_[i];
+      ref_node = i;
+    } else if (last_epoch_[i] != ref) {
+      std::ostringstream os;
+      os << "member " << i << " ended on epoch " << last_epoch_[i] << " but member " << ref_node
+         << " on " << ref;
+      report({"epoch", os.str(), i, i, 0, last_epoch_[i], now});
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------------------ reliable
+
+ReliableMonitor::ReliableMonitor(ViolationLog& log, std::size_t members, Time stall_window)
+    : Monitor(log),
+      n_(members),
+      stall_window_(stall_window),
+      sent_(members, 0),
+      cells_(members * members) {}
+
+void ReliableMonitor::on_send(std::uint32_t node, std::uint64_t seq, bool /*sampled*/,
+                              Time /*t*/) {
+  if (node >= n_) return;
+  sent_[node] = std::max(sent_[node], seq + 1);
+}
+
+void ReliableMonitor::on_deliver(const DeliverObs& d) {
+  if (d.view || d.node >= n_ || d.sender >= n_) return;
+  Cell& c = cell(d.node, d.sender);
+  const std::uint64_t before = c.seen.contiguous();
+  if (!c.seen.insert(d.seq)) {
+    std::ostringstream os;
+    os << "duplicate delivery of " << msg_str(d.sender, d.seq) << " at member " << d.node;
+    report({"reliable", os.str(), d.node, d.sender, d.seq, d.epoch, d.t});
+    return;
+  }
+  if (c.seen.contiguous() != before) c.last_progress = d.t;
+}
+
+void ReliableMonitor::check_stalls(Time now) {
+  if (stall_window_ == 0) return;
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    for (std::uint32_t s = 0; s < n_; ++s) {
+      Cell& c = cell(r, s);
+      // A hole with traffic already delivered past it that has not filled
+      // within the stability window is a loss, not latency. (A merely
+      // stuck prefix with nothing beyond it is an idle sender.)
+      if (!c.seen.has_gaps() || now - c.last_progress <= stall_window_) continue;
+      const auto holes = c.seen.missing_ranges(sent_[s], 1);
+      std::ostringstream os;
+      os << "member " << r << " still missing " << msg_str(s, holes.empty() ? 0 : holes[0].begin)
+         << " after " << (now - c.last_progress) / kMillisecond
+         << " ms with later messages delivered";
+      report({"reliable", os.str(), r, s, holes.empty() ? 0 : holes[0].begin, 0, now});
+      c.last_progress = now;  // re-arm instead of firing every scan
+    }
+  }
+}
+
+void ReliableMonitor::finalize(Time now) {
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    for (std::uint32_t s = 0; s < n_; ++s) {
+      const Cell& c = cell(r, s);
+      if (c.seen.contiguous() == sent_[s] && !c.seen.has_gaps()) continue;
+      const auto holes = c.seen.missing_ranges(sent_[s], 1);
+      const std::uint64_t first = holes.empty() ? c.seen.contiguous() : holes[0].begin;
+      std::ostringstream os;
+      os << "reliability violated: member " << r << " never delivered " << msg_str(s, first)
+         << " (" << sent_[s] << " sent)";
+      report({"reliable", os.str(), r, s, first, 0, now});
+      return;  // one representative failure, like the oracle
+    }
+  }
+}
+
+std::size_t ReliableMonitor::state_cells() const {
+  std::size_t cells = sent_.size();
+  for (const Cell& c : cells_) {
+    // contiguous counter + progress stamp + one cell per interval run.
+    cells += 2 + c.seen.runs();
+  }
+  return cells;
+}
+
+}  // namespace msw

@@ -1,0 +1,187 @@
+// The concrete property monitors. See monitor.hpp for the verdict model
+// and DESIGN.md §12 for the state machines.
+//
+// Bounds at a glance (n = members, W = order-window cap, R = interval runs):
+//   FifoMonitor        n^2 cells
+//   CausalMonitor      n^2 + W*(n+2) cells
+//   TotalOrderMonitor  n + 2W cells
+//   EpochMonitor       O(n) cells
+//   ReliableMonitor    n^2*(2+R) cells, R ~ 1 in steady state
+// None of them grows with the number of messages.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "util/seq_tracker.hpp"
+
+namespace msw {
+
+/// Key for a message identity in hash maps. Seqs are bounded well below
+/// 2^34 even at soak scale (10^7 sends), so the packing is collision-free.
+inline std::uint64_t msg_key(std::uint32_t sender, std::uint64_t seq) {
+  return (std::uint64_t{sender} << 34) | seq;
+}
+
+/// FIFO delivery: messages from one sender are delivered in send order at
+/// every member. Checks every event (sampling-independent: a subsequence
+/// of an increasing sequence is increasing). Also flags duplicates, which
+/// break the strict-increase.
+class FifoMonitor : public Monitor {
+ public:
+  FifoMonitor(ViolationLog& log, std::size_t members);
+  std::string_view property() const override { return "fifo"; }
+  void on_deliver(const DeliverObs& d) override;
+  std::size_t state_cells() const override { return last_.size(); }
+
+ private:
+  std::size_t n_;
+  // last_[receiver * n_ + sender] = last delivered seq + 1 (0 = none yet).
+  std::vector<std::uint64_t> last_;
+};
+
+/// Causal delivery: if the sender had delivered message M before sending
+/// N, every member delivers M before N. Each in-flight message holds the
+/// sender's delivery vector at send time; a delivery is checked against
+/// the receiver's own delivery counts, then the entry retires once every
+/// member has it. Requires sample_period == 1 (the vector counts assume
+/// gap-free per-sender counting).
+class CausalMonitor : public Monitor {
+ public:
+  CausalMonitor(ViolationLog& log, std::size_t members, std::size_t window_cap);
+  std::string_view property() const override { return "causal"; }
+  void on_send(std::uint32_t node, std::uint64_t seq, bool sampled, Time t) override;
+  void on_deliver(const DeliverObs& d) override;
+  std::size_t state_cells() const override;
+
+ private:
+  struct Entry {
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t mask = 0;          // members that delivered it
+    std::vector<std::uint64_t> vc;   // sender's delivery counts at send time
+  };
+
+  std::size_t n_;
+  std::size_t window_cap_;
+  std::uint64_t full_mask_;
+  // delivered_[member * n_ + sender] = messages from sender delivered so far.
+  std::vector<std::uint64_t> delivered_;
+  std::deque<Entry> window_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // msg_key -> serial
+  std::size_t front_serial_ = 0;  // serial of window_.front()
+  std::size_t next_serial_ = 0;
+  bool overflow_reported_ = false;
+};
+
+/// Total order + agreement-on-set, windowed: the first member to deliver a
+/// message assigns it the next global position; every member's k-th
+/// delivery must then be the position-k message. Entries retire once all
+/// members delivered them, so the window holds only in-flight messages.
+/// Optionally cross-checks that every member delivers a message under the
+/// same SP epoch (the first deliverer's epoch is authoritative).
+///
+/// The position discipline subsumes duplicate detection for retired
+/// messages: re-delivering an old message mismatches the member's current
+/// position. Respects sampling (positions count only sampled messages,
+/// which are kept or dropped by identity, so they agree across members).
+class TotalOrderMonitor : public Monitor {
+ public:
+  TotalOrderMonitor(ViolationLog& log, std::size_t members, std::size_t window_cap,
+                    bool check_epoch_consistency);
+  std::string_view property() const override { return "total_order"; }
+  void on_deliver(const DeliverObs& d) override;
+  void finalize(Time now) override;
+  std::size_t state_cells() const override { return n_ + 2 * window_.size(); }
+
+  std::size_t window_size() const { return window_.size(); }
+  std::uint64_t positions_assigned() const { return next_pos_; }
+
+ private:
+  struct Entry {
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;  // epoch of the first delivery
+    std::uint64_t mask = 0;   // members that delivered it
+  };
+
+  void retire_front();
+
+  std::size_t n_;
+  std::size_t window_cap_;
+  bool check_epoch_;
+  std::uint64_t full_mask_;
+  std::vector<std::uint64_t> pos_;  // per member: sampled deliveries so far
+  std::deque<Entry> window_;        // positions [front_pos_, next_pos_)
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;  // msg_key -> position
+  std::uint64_t front_pos_ = 0;
+  std::uint64_t next_pos_ = 0;
+  bool overflow_reported_ = false;
+};
+
+/// SP old-before-new: per member, delivery epochs never step backwards
+/// (a drop by more than half the u64 range is the counter wrapping, which
+/// is monotone in epoch space — same rule as the trace oracle). Tracks
+/// sp.epoch.install events for the convergence check at finalize: every
+/// member with any epoch evidence must end on the same epoch.
+class EpochMonitor : public Monitor {
+ public:
+  EpochMonitor(ViolationLog& log, std::size_t members);
+  std::string_view property() const override { return "epoch"; }
+  void on_deliver(const DeliverObs& d) override;
+  void on_epoch_install(std::uint32_t node, std::uint64_t epoch, Time t) override;
+  void finalize(Time now) override;
+  std::size_t state_cells() const override { return 3 * n_; }
+
+  std::uint64_t installs() const { return installs_; }
+
+ private:
+  void observe(std::uint32_t node, std::uint64_t epoch, Time t, bool install);
+
+  std::size_t n_;
+  std::vector<std::uint64_t> last_epoch_;  // latest epoch evidence per member
+  std::vector<bool> has_;                  // any evidence yet?
+  std::uint64_t installs_ = 0;
+};
+
+/// Reliability / no-loss-after-stability: every sent message is delivered
+/// exactly once by every member. Per (receiver, sender) interval-coded
+/// SeqTracker; duplicates are exact (insert returns false), completeness
+/// is checked at finalize against the observed send counts, and
+/// check_stalls() flags holes that sit behind later deliveries for longer
+/// than the stability window — the streaming form of "no loss after
+/// stability" (a hole with traffic past it that never fills is a loss,
+/// not latency).
+class ReliableMonitor : public Monitor {
+ public:
+  ReliableMonitor(ViolationLog& log, std::size_t members, Time stall_window);
+  std::string_view property() const override { return "reliable"; }
+  void on_send(std::uint32_t node, std::uint64_t seq, bool sampled, Time t) override;
+  void on_deliver(const DeliverObs& d) override;
+  void finalize(Time now) override;
+  std::size_t state_cells() const override;
+
+  /// Scan for holes older than the stability window. Cheap enough to call
+  /// once per harness chunk (O(n^2) map walks), not per event.
+  void check_stalls(Time now);
+
+ private:
+  struct Cell {
+    SeqTracker seen;
+    Time last_progress = 0;  // last time the contiguous prefix advanced
+  };
+
+  Cell& cell(std::uint32_t receiver, std::uint32_t sender) {
+    return cells_[receiver * n_ + sender];
+  }
+
+  std::size_t n_;
+  Time stall_window_;
+  std::vector<std::uint64_t> sent_;  // per sender: observed send count
+  std::vector<Cell> cells_;
+};
+
+}  // namespace msw

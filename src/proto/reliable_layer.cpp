@@ -512,14 +512,19 @@ void ReliableLayer::send_acks() {
       });
       stats_.ack_bytes_sent += m.size();
       stats_.ack_entries_sent += cums.size();
+      ++stats_.ack_frames_sent;
       ctx().send_down(std::move(m));
     } else {
       // The delta frame's u16 count caps one frame at kMaxFrameEntries
       // origins; bigger vectors split across frames rather than truncate.
       // Receivers merge cumulative acks by monotone max, so the frame
-      // boundary is invisible to them.
-      for (std::size_t base = 0; base < cums.size(); base += kMaxFrameEntries) {
-        const std::size_t n = std::min(kMaxFrameEntries, cums.size() - base);
+      // boundary is invisible to them. max_ack_entries_per_frame lowers the
+      // cap so tests can exercise the split without 65k origins.
+      const std::size_t cap = cfg_.max_ack_entries_per_frame == 0
+                                  ? kMaxFrameEntries
+                                  : std::min(cfg_.max_ack_entries_per_frame, kMaxFrameEntries);
+      for (std::size_t base = 0; base < cums.size(); base += cap) {
+        const std::size_t n = std::min(cap, cums.size() - base);
         relwire::AckVecFrame frame{self, full,
                                    {cums.begin() + static_cast<std::ptrdiff_t>(base),
                                     cums.begin() + static_cast<std::ptrdiff_t>(base + n)}};
@@ -530,6 +535,7 @@ void ReliableLayer::send_acks() {
         });
         stats_.ack_bytes_sent += m.size();
         stats_.ack_entries_sent += n;
+        ++stats_.ack_frames_sent;
         ctx().send_down(std::move(m));
       }
     }

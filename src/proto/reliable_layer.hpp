@@ -84,6 +84,11 @@ struct ReliableConfig {
   /// With delta ack vectors, every k-th ack tick sends a full snapshot so
   /// a member that missed earlier deltas (loss, late join) converges.
   std::uint32_t full_ack_every = 8;
+  /// Test-visible override of the per-frame ack-vector entry cap. 0 = the
+  /// wire format's u16 maximum (65535); larger values are clamped to it.
+  /// Lowering it lets tests exercise the oversized-vector frame split
+  /// without simulating 65k origins.
+  std::size_t max_ack_entries_per_frame = 0;
 };
 
 /// Control-plane wire codecs, exposed for tests (round-trip, truncation,
@@ -144,6 +149,7 @@ class ReliableLayer : public Layer {
     std::uint64_t nack_entries_sent = 0;  // ranges (or seqs under legacy)
     std::uint64_t ack_bytes_sent = 0;
     std::uint64_t ack_entries_sent = 0;
+    std::uint64_t ack_frames_sent = 0;  // frames, so tests can see splits
     /// Members excluded from GC quorums by the eviction horizon.
     std::uint64_t members_evicted = 0;
     /// Copies dropped by the max_sent_buffer / max_store_per_origin caps.

@@ -363,6 +363,12 @@ void SequencerLayer::send_gap_nacks() {
     }
     if (!missing.empty()) {
       if (is_sequencer()) {
+        if (cfg_.fault_skip_self_refill) {
+          // Injected bug: behave like the pre-fix sequencer that assumed
+          // its loopback copies could never be lost.
+          ctx().set_timer(cfg_.nack_interval, [this] { send_gap_nacks(); });
+          return;
+        }
         for (std::uint64_t g : missing) {
           auto it = history_.find(g);
           if (it == history_.end()) continue;

@@ -45,6 +45,11 @@ struct SequencerConfig {
   /// the network model's per-packet costs. This serial work is what makes
   /// the sequencer a bottleneck under many active senders (Figure 2).
   Duration order_cost = 0;
+  /// Fault injection for monitor self-tests: re-introduces the historical
+  /// crashed-sequencer bug where the sequencer never refilled its own
+  /// delivery gaps from local history after a restart (fixed alongside the
+  /// fuzzer that found it). Never set outside tests.
+  bool fault_skip_self_refill = false;
 };
 
 class SequencerLayer : public Layer {

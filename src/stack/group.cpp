@@ -2,7 +2,8 @@
 
 namespace msw {
 
-Group::Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory) {
+Group::Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory,
+             bool capture_trace) {
   TelemetryHub& hub = sim.telemetry();
   if (hub.network() != &net) {
     // First group on this network: make it the incarnation source and hook
@@ -16,7 +17,7 @@ Group::Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& f
   for (std::size_t i = 0; i < n; ++i) {
     stacks_.push_back(std::make_unique<Stack>(net, members_[i], members_,
                                               factory(members_[i], members_), sim.fork_rng(),
-                                              &capture_, &hub));
+                                              capture_trace ? &capture_ : nullptr, &hub));
   }
 }
 

@@ -14,8 +14,11 @@ namespace msw {
 class Group {
  public:
   /// Creates `n` nodes on `net` and one stack per node. Call start() before
-  /// sending.
-  Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory);
+  /// sending. `capture_trace = false` skips the buffered TraceCapture
+  /// entirely (O(messages) memory) — soak-scale runs rely on the streaming
+  /// monitors instead; trace() then stays empty.
+  Group(Simulation& sim, Network& net, std::size_t n, const LayerFactory& factory,
+        bool capture_trace = true);
 
   Group(const Group&) = delete;
   Group& operator=(const Group&) = delete;

@@ -99,7 +99,11 @@ void Stack::to_app(Message m) {
   const MsgId id{h.sender, h.seq,
                  h.kind == AppHeader::Kind::kView ? MsgId::Kind::kView : MsgId::Kind::kData};
   ++delivered_;
-  tracer_->instant(n_app_deliver_, TelemetryTrack::kData, id.seq);
+  // arg2 carries the sender id with bit 32 flagging view messages, so
+  // streaming monitors can reconstruct the full MsgId from the event alone.
+  tracer_->instant(n_app_deliver_, TelemetryTrack::kData, id.seq,
+                   std::uint64_t{id.sender} |
+                       (id.kind == MsgId::Kind::kView ? kDeliverViewFlag : 0));
   if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data.view(), now());
   if (on_deliver_) on_deliver_(id, m.data.view());
 }

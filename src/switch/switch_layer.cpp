@@ -50,6 +50,7 @@ void SwitchLayer::start() {
   n_tok_retx_ = tr_->intern("sp.token.retransmit");
   n_stale_ = tr_->intern("sp.stale_drop");
   n_buf_ = tr_->intern("sp.buffer.enqueue");
+  n_epoch_install_ = tr_->intern("sp.epoch.install");
   if (MetricsRegistry* reg = services->metrics()) {
     reg->attach_counter("sp.switches_completed", &stats_.switches_completed);
     reg->attach_counter("sp.switches_initiated", &stats_.switches_initiated);
@@ -313,6 +314,9 @@ void SwitchLayer::complete_local_switch() {
   tr_->end(n_ph_drain_, TelemetryTrack::kData);
   ++epoch_;
   tr_->set_epoch(epoch_);
+  // Streaming monitors key epoch-lifecycle state off this instant: arg is
+  // the epoch now installed, arg2 the protocol index it runs.
+  tr_->instant(n_epoch_install_, TelemetryTrack::kMembership, epoch_, active_protocol());
   sent_this_epoch_ = sent_next_epoch_;
   sent_next_epoch_ = 0;
   delivered_this_epoch_.clear();

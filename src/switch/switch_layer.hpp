@@ -226,6 +226,7 @@ class SwitchLayer : public Layer {
   std::uint32_t n_local_ = 0;         // data track: local switchover
   std::uint32_t n_ph_prepare_ = 0, n_ph_drain_ = 0, n_ph_release_ = 0;
   std::uint32_t n_tok_forward_ = 0, n_tok_retx_ = 0, n_stale_ = 0, n_buf_ = 0;
+  std::uint32_t n_epoch_install_ = 0;  // membership track: epoch now installed
   std::uint32_t open_rotation_ = 0;   // interned name of the open rotation span
 
   Stats stats_;

@@ -1,14 +1,20 @@
 // Typed telemetry events and the bounded per-node ring that stores them.
 //
-// An event is 40 bytes of plain data: simulated timestamp, node id, node
-// incarnation, SP epoch, an interned name id, a track, a kind, and one
-// free argument. Names are interned once at wiring time in a NameTable
+// An event is 48 bytes of plain data: simulated timestamp, node id, node
+// incarnation, SP epoch, an interned name id, a track, a kind, and two
+// free arguments. Names are interned once at wiring time in a NameTable
 // shared across the whole simulation, so the hot path never touches a
 // string.
 //
 // The ring is bounded (flight-recorder semantics): when full, the oldest
 // event is overwritten and a drop counter advances. Everything a crashed
 // run needs to explain itself is the tail of the ring.
+//
+// Besides rings, events can flow to a TelemetrySink: a streaming consumer
+// (the property monitors in src/monitor/) that sees every event exactly
+// once, at emission time, with no buffering and no drops — the feed for
+// online bounded-memory checking at soak scale, where rings would
+// overwrite the history a checker needs.
 #pragma once
 
 #include <cstdint>
@@ -36,10 +42,27 @@ struct TelemetryEvent {
   std::uint64_t epoch = 0;        // SP epoch at emission
   std::uint64_t incarnation = 0;  // node incarnation (bumped by crashes)
   std::uint64_t arg = 0;          // event-specific payload (count, seq, ...)
+  std::uint64_t arg2 = 0;         // second payload (sender id, flags, ...)
   std::uint32_t name = 0;         // NameTable id
   std::uint32_t node = 0;
   EventKind kind = EventKind::kInstant;
   TelemetryTrack track = TelemetryTrack::kData;
+};
+
+/// Well-known arg2 encoding for app.deliver events: low 32 bits carry the
+/// sender id, bit 32 flags a view (membership) message. Together with arg
+/// (the sequence number) this reconstructs the full message identity.
+inline constexpr std::uint64_t kDeliverSenderMask = 0xFFFFFFFFull;
+inline constexpr std::uint64_t kDeliverViewFlag = 1ull << 32;
+
+/// Streaming consumer of telemetry events. Attached simulation-wide via
+/// TelemetryHub::attach_sink; every armed tracer forwards each event at
+/// emission time. Implementations must be cheap (called on the data path)
+/// and must not re-enter the telemetry plane.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void on_telemetry(const TelemetryEvent& e) = 0;
 };
 
 /// Interns event names to dense u32 ids. Shared by every tracer of a run so

@@ -79,7 +79,10 @@ void write_event_line(const TelemetryHub& hub, std::ostream& os, const Telemetry
   os << "{\"t\":" << e.t << ",\"node\":" << e.node << ",\"kind\":\"" << kind_str(e.kind)
      << "\",\"track\":\"" << track_str(e.track) << "\",\"name\":\""
      << json_escape(hub.names().name(e.name)) << "\",\"epoch\":" << e.epoch
-     << ",\"inc\":" << e.incarnation << ",\"arg\":" << e.arg << "}\n";
+     << ",\"inc\":" << e.incarnation << ",\"arg\":" << e.arg;
+  // arg2 is omitted when zero so pre-existing golden lines stay byte-stable.
+  if (e.arg2 != 0) os << ",\"arg2\":" << e.arg2;
+  os << "}\n";
 }
 
 void write_registry_json(const MetricsRegistry& reg, std::ostream& os) {

@@ -19,12 +19,18 @@ void TelemetryHub::enable_tracing(std::size_t ring_capacity) {
   }
 }
 
+void TelemetryHub::attach_sink(TelemetrySink* sink) {
+  sink_ = sink;
+  for (auto& [node, tracer] : tracers_) tracer->set_sink(sink_);
+}
+
 Tracer& TelemetryHub::tracer(std::uint32_t node) {
   auto it = tracers_.find(node);
   if (it == tracers_.end()) {
     it = tracers_.emplace(node, std::make_unique<Tracer>()).first;
     it->second->configure(&names_, clock_, node, net_);
     if (tracing_) it->second->enable(ring_capacity_);
+    if (sink_) it->second->set_sink(sink_);
   }
   return *it->second;
 }

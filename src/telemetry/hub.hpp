@@ -47,6 +47,13 @@ class TelemetryHub {
   bool tracing() const { return tracing_; }
   std::size_t ring_capacity() const { return ring_capacity_; }
 
+  /// Attach a streaming sink to every tracer (current and future). The sink
+  /// sees each event at emission time regardless of whether rings are armed;
+  /// it must outlive the hub or be detached first. One sink at a time.
+  void attach_sink(TelemetrySink* sink);
+  void detach_sink() { attach_sink(nullptr); }
+  TelemetrySink* sink() const { return sink_; }
+
   /// Per-node accessors create on first use; references stay stable.
   Tracer& tracer(std::uint32_t node);
   MetricsRegistry& node_metrics(std::uint32_t node);
@@ -76,6 +83,7 @@ class TelemetryHub {
   std::map<std::uint32_t, std::unique_ptr<MetricsRegistry>> node_metrics_;
   const Scheduler* clock_ = nullptr;
   const Network* net_ = nullptr;
+  TelemetrySink* sink_ = nullptr;
   bool tracing_ = false;
   std::size_t ring_capacity_ = kDefaultRingCapacity;
 };

@@ -44,6 +44,12 @@ class Tracer {
   void disable() { ring_.reset(); }
   bool enabled() const { return ring_ != nullptr; }
 
+  /// Attach a streaming sink (monitors). Independent of the ring: events
+  /// flow to the sink even when no ring is armed, so a soak run can monitor
+  /// without buffering history. Null detaches.
+  void set_sink(TelemetrySink* sink) { sink_ = sink; }
+  TelemetrySink* sink() const { return sink_; }
+
   std::uint32_t node() const { return node_; }
   std::uint32_t intern(std::string_view name) { return names_ ? names_->intern(name) : 0; }
 
@@ -52,30 +58,35 @@ class Tracer {
 
 #if MSW_TELEMETRY_ENABLED
   void begin(std::uint32_t name, TelemetryTrack track = TelemetryTrack::kData,
-             std::uint64_t arg = 0) {
-    if (ring_) emit(EventKind::kBegin, name, track, arg);
+             std::uint64_t arg = 0, std::uint64_t arg2 = 0) {
+    if (ring_ || sink_) emit(EventKind::kBegin, name, track, arg, arg2);
   }
   void end(std::uint32_t name, TelemetryTrack track = TelemetryTrack::kData,
-           std::uint64_t arg = 0) {
-    if (ring_) emit(EventKind::kEnd, name, track, arg);
+           std::uint64_t arg = 0, std::uint64_t arg2 = 0) {
+    if (ring_ || sink_) emit(EventKind::kEnd, name, track, arg, arg2);
   }
   void instant(std::uint32_t name, TelemetryTrack track = TelemetryTrack::kData,
-               std::uint64_t arg = 0) {
-    if (ring_) emit(EventKind::kInstant, name, track, arg);
+               std::uint64_t arg = 0, std::uint64_t arg2 = 0) {
+    if (ring_ || sink_) emit(EventKind::kInstant, name, track, arg, arg2);
   }
 #else
-  void begin(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0) {}
-  void end(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0) {}
-  void instant(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0) {}
+  void begin(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0,
+             std::uint64_t = 0) {}
+  void end(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0,
+           std::uint64_t = 0) {}
+  void instant(std::uint32_t, TelemetryTrack = TelemetryTrack::kData, std::uint64_t = 0,
+               std::uint64_t = 0) {}
 #endif
 
   const EventRing* ring() const { return ring_.get(); }
   const NameTable* names() const { return names_; }
 
  private:
-  void emit(EventKind kind, std::uint32_t name, TelemetryTrack track, std::uint64_t arg);
+  void emit(EventKind kind, std::uint32_t name, TelemetryTrack track, std::uint64_t arg,
+            std::uint64_t arg2);
 
   std::unique_ptr<EventRing> ring_;
+  TelemetrySink* sink_ = nullptr;
   NameTable* names_ = nullptr;
   const Scheduler* clock_ = nullptr;
   const Network* net_ = nullptr;

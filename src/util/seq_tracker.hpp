@@ -116,6 +116,8 @@ class SeqTracker {
   bool has_gaps() const { return !runs_.empty(); }
   /// Number of sequences seen beyond the contiguous prefix.
   std::size_t sparse_count() const { return sparse_count_; }
+  /// Number of stored interval runs — the tracker's actual memory footprint.
+  std::size_t runs() const { return runs_.size(); }
 
  private:
   std::uint64_t contiguous_ = 0;

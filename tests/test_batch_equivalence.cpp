@@ -16,6 +16,7 @@
 
 #include "helpers.hpp"
 #include "proto/causal_layer.hpp"
+#include "proto/link_layers.hpp"
 #include "proto/reliable_layer.hpp"
 #include "switch/hybrid.hpp"
 #include "trace/trace.hpp"
@@ -207,6 +208,42 @@ TEST(BatchEquivalence, HybridTotalOrderAcrossASwitch) {
   const Trace off = run(false);
   EXPECT_FALSE(off.empty());
   expect_projections_identical(on, off);
+}
+
+TEST(BatchEquivalence, StopAndWaitPointToPoint) {
+  // The ARQ specialization, slowest arm: one frame in flight means a
+  // submitted batch drains through the queue one RTT at a time, so the
+  // batched path's only latitude is submission-side — the wire behaviour
+  // (and every retransmission under loss) must be identical.
+  const LayerFactory factory = [](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<StopAndWaitLayer>());
+    return layers;
+  };
+  NetConfig cfg = testing::era_net();
+  cfg.loss = 0.05;
+  const auto on = run_scenario(factory, cfg, true, 2, 17);
+  const auto off = run_scenario(factory, cfg, false, 2, 17);
+  expect_equivalent(on, off);
+}
+
+TEST(BatchEquivalence, GoBackNPointToPoint) {
+  // Go-back-N: a submitted batch can fill the whole window at once, so the
+  // batched path interleaves window pumps, cumulative acks, and full-window
+  // retransmissions — all of which must match the scalar path frame for
+  // frame.
+  const LayerFactory factory = [](NodeId, const std::vector<NodeId>&) {
+    LinkConfig cfg;
+    cfg.window = 4;  // smaller than the biggest submitted batch: backlog spills
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<GoBackNLayer>(cfg));
+    return layers;
+  };
+  NetConfig net = testing::era_net();
+  net.loss = 0.05;
+  const auto on = run_scenario(factory, net, true, 2, 23);
+  const auto off = run_scenario(factory, net, false, 2, 23);
+  expect_equivalent(on, off);
 }
 
 TEST(BatchEquivalence, CoalescingReducesSchedulerEvents) {

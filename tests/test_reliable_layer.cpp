@@ -245,6 +245,70 @@ TEST_F(ReliableTest, RangeEncodingBeatsLegacyOnWideGaps) {
   EXPECT_LT(range_bytes * 4, legacy_bytes);
 }
 
+TEST_F(ReliableTest, FirstBatchAfterIdlePeriodSurvivesLossBatched) {
+  // The post-idle eviction re-admission fix, exercised through the batched
+  // data plane: after an idle period every healthy member is provisionally
+  // evicted; the first *batched* multicast afterwards must re-admit them
+  // before GC can collect the burst's copies, exactly like the scalar
+  // send path.
+  ReliableConfig cfg;
+  cfg.eviction_horizon = 2 * kSecond;
+  GroupHarness h(3, reliable_only(cfg));
+  h.group.set_batching(true);
+  h.sim.run_for(5 * kSecond);  // idle well past the horizon
+  EXPECT_GT(g_layers[0]->stats().members_evicted, 0u);
+  h.net.set_link_up(h.group.node(0), h.group.node(1), false);
+  std::vector<Bytes> burst;
+  for (int i = 0; i < 4; ++i) burst.push_back(to_bytes("b" + std::to_string(i)));
+  h.group.send_batch(0, std::move(burst));
+  h.sim.run_for(500 * kMillisecond);  // many ack ticks: GC had every chance
+  h.net.set_link_up(h.group.node(0), h.group.node(1), true);
+  h.sim.run_for(5 * kSecond);
+  EXPECT_EQ(h.delivered_data(1).size(), 4u);
+  EXPECT_EQ(h.delivered_data(2).size(), 4u);
+}
+
+TEST_F(ReliableTest, OversizedAckVectorSplitsAcrossFramesBatched) {
+  // The ack-vector frame split under the batched path: with the per-frame
+  // entry cap lowered below the origin count, one ack tick must emit
+  // several frames whose union is the same vector — receivers merge by
+  // monotone max, so delivery and GC behave identically to the uncapped
+  // run, just with more frames on the wire.
+  const auto run = [](std::size_t cap) {
+    g_layers.clear();
+    ReliableConfig cfg;
+    cfg.peer_assist = true;
+    cfg.ack_interval = 50 * kMillisecond;
+    cfg.max_ack_entries_per_frame = cap;
+    GroupHarness h(6, reliable_only(cfg), testing::lossy_net(0.1), /*seed=*/31);
+    h.group.set_batching(true);
+    for (std::size_t s = 0; s < 6; ++s) {
+      std::vector<Bytes> burst;
+      for (int i = 0; i < 5; ++i) burst.push_back(to_bytes("s" + std::to_string(i)));
+      h.group.send_batch(s, std::move(burst));
+    }
+    h.sim.run_for(15 * kSecond);
+    std::uint64_t frames = 0, entries = 0, buffered = 0;
+    for (std::size_t p = 0; p < 6; ++p) {
+      EXPECT_EQ(h.delivered_data(p).size(), 30u) << "cap " << cap << " member " << p;
+      frames += g_layers[p]->stats().ack_frames_sent;
+      entries += g_layers[p]->stats().ack_entries_sent;
+      buffered += g_layers[p]->stats().buffered_copies;
+    }
+    EXPECT_EQ(buffered, 0u) << "stability (GC) must still converge with cap " << cap;
+    return std::make_pair(frames, entries);
+  };
+  const auto [split_frames, split_entries] = run(2);
+  const auto [whole_frames, whole_entries] = run(0);
+  // Capped at 2 entries, a 6-origin full snapshot needs 3 frames instead
+  // of 1, so the capped run pays measurably more frames per entry. (Exact
+  // entry equality is not asserted: extra control frames perturb network
+  // timing, which can shift what the delta ticks include.)
+  EXPECT_GT(split_entries, 0u);
+  EXPECT_GT(whole_entries, 0u);
+  EXPECT_GT(split_frames * whole_entries, whole_frames * split_entries);
+}
+
 TEST_F(ReliableTest, AsymmetricPartitionHealed) {
   GroupHarness h(3, reliable_only());
   // Member 1 misses everything from 0 for a while (one-way outage).
