@@ -1,0 +1,185 @@
+// Real-transport throughput: msgs/sec/core for the reliable-FIFO stack
+// over loopback UDP (or the threaded in-process backend with --loopback).
+//
+// Topology: G groups of n nodes, one group per executor shard — the
+// runtime's unit of parallelism. Every node multicasts rounds of small
+// payloads with a bounded in-flight window (the pacer waits when the gap
+// between sends and deliveries exceeds the window, so the kernel socket
+// buffers aren't asked to absorb the whole run at once). Wall time covers
+// first send to last delivery; a delivery is one application-level
+// message arriving at one member, so
+//     deliveries/sec = unique msgs/sec * n.
+// msgs/sec/core divides unique multicasts completed per second by the
+// number of worker cores (G shards), the honest per-core figure for a
+// medium where CPU time is real rather than simulated.
+//
+//   ./bench_rt_throughput [--json F] [--loopback] [--groups G] [--scale X]
+//
+// Emits BENCH_rt.json (or F) with one row per n in {2, 8, 32}.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rt/loopback_transport.hpp"
+#include "rt/rt_group.hpp"
+#include "rt/udp_transport.hpp"
+#include "switch/hybrid.hpp"
+
+using namespace msw;
+
+namespace {
+
+struct Row {
+  std::size_t n = 0;
+  std::size_t groups = 0;
+  std::uint64_t unique_msgs = 0;   // multicasts completed, all groups
+  std::uint64_t deliveries = 0;    // app-level deliveries, all groups
+  double wall_s = 0;
+  double msgs_per_sec = 0;          // unique msgs/sec, all cores
+  double msgs_per_sec_per_core = 0; // unique msgs/sec / worker shards
+  double deliveries_per_sec = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_dropped = 0;
+};
+
+Row run_one(std::size_t n, std::size_t groups, std::size_t rounds, bool loopback) {
+  Executor ex(groups);
+  std::unique_ptr<ThreadedTransport> transport;
+  if (loopback) {
+    transport = std::make_unique<LoopbackTransport>(ex);
+  } else {
+    transport = std::make_unique<UdpTransport>(ex);
+  }
+
+  std::vector<std::unique_ptr<RtGroup>> gs;
+  gs.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    gs.push_back(std::make_unique<RtGroup>(*transport, n, make_reliable_fifo_factory(), g,
+                                           /*capture_trace=*/false, /*hub=*/nullptr,
+                                           /*seed=*/0x5eed0000 + g));
+  }
+  ex.start();
+  for (auto& g : gs) g->start();
+
+  const Bytes body{Byte{0xab}, Byte{0xcd}, Byte{0xef}, Byte{0x01},
+                   Byte{0x23}, Byte{0x45}, Byte{0x67}, Byte{0x89}};
+  const std::uint64_t expect_deliveries = std::uint64_t{groups} * n * n * rounds;
+  // In-flight cap: at most this many undelivered app-message copies before
+  // the pacer waits. Sized to keep socket buffers comfortable at n=32.
+  const std::uint64_t window = std::uint64_t{groups} * n * 2048;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent_copies = 0;  // sends * n so far
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (auto& g : gs) {
+      for (std::size_t i = 0; i < n; ++i) g->send(i, body);
+    }
+    sent_copies += std::uint64_t{groups} * n * n;
+    if ((r & 15u) == 15u) {
+      for (;;) {
+        std::uint64_t delivered = 0;
+        for (auto& g : gs) delivered += g->total_delivered();
+        if (sent_copies - delivered < window) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  std::uint64_t delivered = 0;
+  for (int spin = 0; spin < 60000; ++spin) {
+    delivered = 0;
+    for (auto& g : gs) delivered += g->total_delivered();
+    if (delivered >= expect_deliveries) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ex.stop();
+
+  Row row;
+  row.n = n;
+  row.groups = groups;
+  row.unique_msgs = std::uint64_t{groups} * n * rounds;
+  row.deliveries = delivered;
+  row.wall_s = wall;
+  row.msgs_per_sec = static_cast<double>(row.unique_msgs) / wall;
+  row.msgs_per_sec_per_core = row.msgs_per_sec / static_cast<double>(groups);
+  row.deliveries_per_sec = static_cast<double>(delivered) / wall;
+  row.datagrams_sent = transport->packets_sent();
+  row.datagrams_dropped = transport->packets_dropped();
+  return row;
+}
+
+void write_json(const std::string& path, const std::string& medium, std::size_t groups,
+                const std::vector<Row>& rows) {
+  std::ofstream os(path, std::ios::binary);
+  os << "{\n  \"bench\": \"rt_throughput\",\n  \"transport\": \"" << medium
+     << "\",\n  \"worker_shards\": " << groups << ",\n  \"stack\": \"reliable_fifo\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"n\": " << r.n << ", \"groups\": " << r.groups
+       << ", \"unique_msgs\": " << r.unique_msgs << ", \"deliveries\": " << r.deliveries
+       << ", \"wall_s\": " << r.wall_s << ", \"msgs_per_sec\": " << r.msgs_per_sec
+       << ", \"msgs_per_sec_per_core\": " << r.msgs_per_sec_per_core
+       << ", \"deliveries_per_sec\": " << r.deliveries_per_sec
+       << ", \"datagrams_sent\": " << r.datagrams_sent
+       << ", \"datagrams_dropped\": " << r.datagrams_dropped << "}"
+       << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::fprintf(stderr, "bench json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out = "BENCH_rt.json";
+  bool loopback = false;
+  std::size_t groups = 2;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--loopback") == 0) {
+      loopback = true;
+    } else if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
+      groups = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::stod(argv[++i]);
+    }
+  }
+  if (!loopback && !UdpTransport::available()) {
+    std::fprintf(stderr, "UDP unavailable; using threaded loopback backend\n");
+    loopback = true;
+  }
+  const std::string medium = loopback ? "threaded_loopback" : "udp_loopback";
+
+  msw::bench::title("Real-transport throughput (" + medium + ")");
+  std::printf("  %4s %8s %12s %14s %16s %10s\n", "n", "groups", "unique msgs", "msgs/sec",
+              "msgs/sec/core", "drops");
+  msw::bench::rule();
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{32}}) {
+    // Rounds shrink with n so every cell moves a comparable message volume.
+    const auto rounds = static_cast<std::size_t>(scale * (n == 2 ? 2000 : n == 8 ? 400 : 50));
+    const Row r = run_one(n, groups, rounds, loopback);
+    rows.push_back(r);
+    std::printf("  %4zu %8zu %12llu %14.0f %16.0f %10llu\n", r.n, r.groups,
+                static_cast<unsigned long long>(r.unique_msgs), r.msgs_per_sec,
+                r.msgs_per_sec_per_core,
+                static_cast<unsigned long long>(r.datagrams_dropped));
+    if (r.deliveries < std::uint64_t{groups} * n * n *
+                           static_cast<std::uint64_t>(scale * (n == 2 ? 2000 : n == 8 ? 400 : 50))) {
+      std::fprintf(stderr, "warning: n=%zu did not reach full delivery\n", n);
+    }
+  }
+  if (!json_out.empty()) write_json(json_out, medium, groups, rows);
+  return 0;
+}

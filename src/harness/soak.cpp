@@ -6,9 +6,13 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "monitor/monitor_set.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "proto/causal_layer.hpp"
+#include "proto/reliable_layer.hpp"
 #include "sim/simulation.hpp"
 #include "stack/group.hpp"
 #include "switch/hybrid.hpp"
@@ -54,19 +58,37 @@ FaultSchedule make_churn_schedule(Rng& rng, const SoakConfig& cfg, Time activity
   return s;
 }
 
+/// The causal arm's stack: vector-clock causal broadcast over the
+/// NACK-based reliable layer (tests/test_causal.cpp runs the same shape).
+LayerFactory make_causal_factory() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<CausalLayer>());
+    layers.push_back(std::make_unique<ReliableLayer>());
+    return layers;
+  };
+}
+
 }  // namespace
 
-std::size_t soak_cell_budget(std::size_t members, std::size_t window_cap) {
+std::size_t soak_cell_budget(std::size_t members, std::size_t window_cap, bool causal) {
   // Sum of the per-monitor bounds (monitors.hpp) with slack: MonitorSet n,
   // TotalOrder n + 2W, Epoch 3n, Reliable n + n^2 * (2 + runs) where the
   // interval runs per pair get 16 cells of fragmentation headroom. The
-  // budget deliberately has NO term in the message count.
-  return 6 * members + 18 * members * members + 2 * window_cap + 64;
+  // budget deliberately has NO term in the message count. The causal
+  // stack swaps TotalOrder+Epoch for CausalMonitor, whose in-flight window
+  // holds up to W entries of a vector clock each: W*(n+2) more cells.
+  const std::size_t base = 6 * members + 18 * members * members + 2 * window_cap + 64;
+  return causal ? base + window_cap * (members + 2) : base;
 }
 
-SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::uint64_t)>& progress) {
+namespace {
+
+SoakResult run_soak_once(const SoakConfig& cfg,
+                         const std::function<bool(Time, std::uint64_t)>& progress) {
+  const bool causal = cfg.stack == SoakConfig::Stack::kCausal;
   SoakResult res;
-  res.cell_budget = soak_cell_budget(cfg.members, cfg.window_cap);
+  res.cell_budget = soak_cell_budget(cfg.members, cfg.window_cap, causal);
 
   Simulation sim(cfg.seed);
   sim.enable_tracing(cfg.ring_capacity);  // flight-recorder tail per node
@@ -87,11 +109,18 @@ SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::u
   mopts.sample_period = cfg.sample_period;
   mopts.window_cap = cfg.window_cap;
   mopts.stall_window = cfg.stall_window;
+  mopts.check_epoch_consistency = !causal;  // no SwitchLayer, no SP epochs
   MonitorSet monitors(sim.telemetry(), mopts);
-  monitors.attach_hybrid_suite();
+  if (causal) {
+    monitors.add_causal();
+    monitors.add_reliable();
+  } else {
+    monitors.attach_hybrid_suite();
+  }
 
   // Buffered trace capture OFF: the monitors are the correctness plane.
-  Group group(sim, net, cfg.members, make_hybrid_total_order_factory(),
+  Group group(sim, net, cfg.members,
+              causal ? make_causal_factory() : make_hybrid_total_order_factory(),
               /*capture_trace=*/false);
   Group* gp = &group;
   group.set_batching(true);
@@ -133,7 +162,7 @@ SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::u
             Bytes(cfg.payload_bytes, Byte{0x5a})};
   sim.scheduler().at(send_start, [&pump] { pump.tick(); });
 
-  if (cfg.switch_interval != 0) {
+  if (cfg.switch_interval != 0 && !causal) {
     std::size_t initiator = 0;
     for (Time t = send_start + cfg.switch_interval; t < activity_end;
          t += cfg.switch_interval) {
@@ -166,10 +195,12 @@ SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::u
     std::uint64_t last_delivered = group.total_delivered();
     while (sim.now() < drain_end && stable < 2 && chunk()) {
       bool converged = true;
-      const std::uint64_t epoch0 = switch_layer_of(group.stack(0)).epoch();
-      for (std::size_t i = 0; i < cfg.members; ++i) {
-        SwitchLayer& sl = switch_layer_of(group.stack(i));
-        if (sl.epoch() != epoch0 || sl.switching() || sl.buffered() != 0) converged = false;
+      if (!causal) {
+        const std::uint64_t epoch0 = switch_layer_of(group.stack(0)).epoch();
+        for (std::size_t i = 0; i < cfg.members; ++i) {
+          SwitchLayer& sl = switch_layer_of(group.stack(i));
+          if (sl.epoch() != epoch0 || sl.switching() || sl.buffered() != 0) converged = false;
+        }
       }
       const std::uint64_t delivered = group.total_delivered();
       stable = converged && delivered == last_delivered ? stable + 1 : 0;
@@ -213,7 +244,8 @@ SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::u
   }
 
   std::ostringstream sum;
-  sum << "soak seed=" << cfg.seed << " members=" << cfg.members << " sent=" << res.sent
+  sum << "soak stack=" << (causal ? "causal" : "hybrid") << " seed=" << cfg.seed
+      << " members=" << cfg.members << " sent=" << res.sent
       << " delivered=" << res.delivered << " switches=" << res.switches_installed
       << " crashes=" << res.crashes << " violations=" << res.violations
       << " peak_cells=" << res.peak_cells << " cell_budget=" << res.cell_budget
@@ -221,6 +253,61 @@ SoakResult run_soak(const SoakConfig& cfg, const std::function<bool(Time, std::u
       << (res.ok ? "OK" : "FAIL: " + res.reason);
   res.summary_line = sum.str();
   return res;
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakConfig& cfg,
+                    const std::function<bool(Time, std::uint64_t)>& progress) {
+  if (cfg.budget_seconds <= 0) return run_soak_once(cfg, progress);
+
+  // Wall-clock budget mode: complete rounds of cfg.messages sends, each a
+  // fresh simulation under a derived seed, until the deadline. A round
+  // always finishes (partial rounds would skew the sent/delivered
+  // accounting); the budget steers how many rounds fit.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  SoakResult agg;
+  agg.ok = true;
+  agg.rounds = 0;
+  do {
+    SoakConfig round_cfg = cfg;
+    round_cfg.seed = cfg.seed + agg.rounds;
+    round_cfg.budget_seconds = 0;
+    const SoakResult r = run_soak_once(round_cfg, progress);
+    ++agg.rounds;
+    agg.sent += r.sent;
+    agg.delivered += r.delivered;
+    agg.violations += r.violations;
+    agg.switches_installed += r.switches_installed;
+    agg.crashes += r.crashes;
+    agg.sim_time += r.sim_time;
+    agg.peak_cells = std::max(agg.peak_cells, r.peak_cells);
+    agg.final_cells = r.final_cells;
+    agg.cell_budget = r.cell_budget;
+    agg.vm_hwm_kb = std::max(agg.vm_hwm_kb, r.vm_hwm_kb);
+    if (!r.ok) {
+      agg.ok = false;
+      agg.reason = "round " + std::to_string(agg.rounds - 1) + ": " + r.reason;
+      agg.flight_record = r.flight_record;
+      break;
+    }
+  } while (elapsed() < cfg.budget_seconds);
+  agg.wall_seconds = elapsed();
+
+  std::ostringstream sum;
+  sum << "soak stack=" << (cfg.stack == SoakConfig::Stack::kCausal ? "causal" : "hybrid")
+      << " budget_s=" << cfg.budget_seconds << " rounds=" << agg.rounds
+      << " wall_s=" << agg.wall_seconds << " sent=" << agg.sent
+      << " delivered=" << agg.delivered << " switches=" << agg.switches_installed
+      << " crashes=" << agg.crashes << " violations=" << agg.violations
+      << " peak_cells=" << agg.peak_cells << " cell_budget=" << agg.cell_budget
+      << " vm_hwm_kb=" << agg.vm_hwm_kb << " sim_s=" << agg.sim_time / kSecond << " "
+      << (agg.ok ? "OK" : "FAIL: " + agg.reason);
+  agg.summary_line = sum.str();
+  return agg;
 }
 
 }  // namespace msw

@@ -23,9 +23,19 @@
 namespace msw {
 
 struct SoakConfig {
+  /// Which protocol stack the soak drives.
+  ///   kHybrid: the switching sequencer/token stack (periodic switches,
+  ///            the hybrid monitor suite: total order + epochs + reliable).
+  ///   kCausal: the vector-clock causal broadcast stack over the reliable
+  ///            layer (no SwitchLayer, no epochs; causal + reliable
+  ///            monitors).
+  enum class Stack { kHybrid, kCausal };
+  Stack stack = Stack::kHybrid;
+
   std::uint64_t seed = 1;
   std::size_t members = 12;
-  /// Total application sends across the run.
+  /// Total application sends across the run. In wall-clock budget mode
+  /// (budget_seconds > 0) this is the size of ONE round instead.
   std::uint64_t messages = 1'000'000;
   /// Messages per batched send call (the batched data plane is on).
   std::size_t batch = 8;
@@ -55,6 +65,13 @@ struct SoakConfig {
 
   /// Extra sim time allowed for drain/convergence after the last send.
   Duration drain_limit = 120 * kSecond;
+
+  /// Wall-clock budget mode: when > 0, the soak runs complete rounds of
+  /// `messages` sends (each a fresh simulation with a derived seed) until
+  /// this many wall seconds have elapsed, then reports the aggregate. The
+  /// nightly job uses this to fill its time slot regardless of how fast
+  /// the host is; 0 keeps the fixed-message-count behavior.
+  double budget_seconds = 0;
 };
 
 struct SoakResult {
@@ -67,6 +84,10 @@ struct SoakResult {
   std::uint64_t switches_installed = 0;  // sp.epoch.install events
   std::size_t crashes = 0;
   Time sim_time = 0;
+  /// Rounds completed (1 in fixed-count mode; >= 1 in budget mode).
+  std::size_t rounds = 1;
+  /// Wall seconds consumed (only populated in budget mode).
+  double wall_seconds = 0;
 
   /// Monitor footprint: peak/final MonitorSet::state_cells() against the
   /// members-derived budget (no message-count term — that is the claim).
@@ -86,8 +107,9 @@ struct SoakResult {
 };
 
 /// The state-cell budget for a given configuration: linear in members and
-/// window capacity, with NO term in the message count.
-std::size_t soak_cell_budget(std::size_t members, std::size_t window_cap);
+/// window capacity, with NO term in the message count. The causal stack
+/// adds the CausalMonitor's window term (W*(n+2), monitors.hpp).
+std::size_t soak_cell_budget(std::size_t members, std::size_t window_cap, bool causal = false);
 
 /// Run one soak. `progress` (optional) is called once per sim-second chunk
 /// with the current sim time and total deliveries; return false to abort.

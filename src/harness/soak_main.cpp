@@ -22,6 +22,9 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options]\n"
+               "  --stack S            hybrid (switching total order, default) or causal\n"
+               "  --budget-seconds N   wall-clock budget mode: run complete rounds of\n"
+               "                       --messages sends until N seconds elapse (0 = off)\n"
                "  --seed N             rng seed (default 1)\n"
                "  --members N          group size (default 12, max 64)\n"
                "  --messages N         total application sends (default 1000000)\n"
@@ -54,7 +57,18 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--seed") {
+    if (arg == "--stack") {
+      const std::string s = value();
+      if (s == "hybrid") {
+        cfg.stack = msw::SoakConfig::Stack::kHybrid;
+      } else if (s == "causal") {
+        cfg.stack = msw::SoakConfig::Stack::kCausal;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--budget-seconds") {
+      cfg.budget_seconds = std::strtod(value(), nullptr);
+    } else if (arg == "--seed") {
       cfg.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--members") {
       cfg.members = std::strtoull(value(), nullptr, 10);

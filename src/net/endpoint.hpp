@@ -1,8 +1,17 @@
 // Per-node transport handle.
 //
-// An Endpoint binds one NodeId to the Network and owns that node's timer
-// registrations. Protocol stacks talk to the network exclusively through
-// an Endpoint, which keeps the Network interface free of per-node state.
+// An Endpoint binds one NodeId to its medium and owns that node's timer
+// registrations. Protocol stacks talk to the world below them exclusively
+// through an Endpoint, which keeps both the Network and Transport
+// interfaces free of per-node state.
+//
+// Two constructions, one behavior:
+//   - Endpoint(Network&, id): the historical sim-only path. Calls go
+//     straight to the Network/Scheduler — bit-for-bit the pre-runtime
+//     behavior, no virtual dispatch added on the data plane.
+//   - Endpoint(Transport&, id): the runtime boundary. Calls go through the
+//     Transport interface, so the same stack runs over the sim adapter,
+//     the threaded loopback backend, or real UDP sockets.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,9 @@
 
 namespace msw {
 
+class Transport;
+struct TransportTimer;
+
 /// Handle for a pending timer; see Endpoint::set_timer.
 struct TimerId {
   std::uint64_t v = 0;
@@ -25,25 +37,39 @@ struct TimerId {
 class Endpoint {
  public:
   Endpoint(Network& net, NodeId id);
+  Endpoint(Transport& transport, NodeId id);
   ~Endpoint();
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
   NodeId id() const { return id_; }
-  Network& network() { return net_; }
-  Time now() const { return net_.scheduler().now(); }
 
-  void set_handler(PacketHandler handler) { net_.set_handler(id_, std::move(handler)); }
-  void set_run_handler(PacketRunHandler handler) { net_.set_run_handler(id_, std::move(handler)); }
+  /// The simulated network — sim-backed endpoints only (benches and tests
+  /// reach through this for NetStats/partition control). Null otherwise.
+  Network* network_or_null() { return net_; }
+  Network& network() { return *net_; }
 
-  void send(NodeId to, Payload data) { net_.send(id_, to, std::move(data)); }
-  void multicast(const std::vector<NodeId>& to, Payload data) {
-    net_.multicast(id_, to, std::move(data));
-  }
-  void multicast_run(const std::vector<NodeId>& to, std::span<const Payload> msgs) {
-    net_.multicast_run(id_, to, msgs);
-  }
+  /// The transport boundary, when constructed over one. Null on the
+  /// historical Network path.
+  Transport* transport() { return transport_; }
+
+  Time now() const;
+
+  void set_handler(PacketHandler handler);
+  void set_run_handler(PacketRunHandler handler);
+
+  void send(NodeId to, Payload data);
+  void multicast(const std::vector<NodeId>& to, Payload data);
+  void multicast_run(const std::vector<NodeId>& to, std::span<const Payload> msgs);
+
+  /// Model protocol processing cost (sim charges the node's serial CPU;
+  /// real transports do nothing — their processing time is real).
+  void consume_cpu(Duration d);
+
+  /// Per-tick allocator for batch paths, or nullptr when the medium has no
+  /// deterministic tick (real transports).
+  TickArena* tick_arena();
 
   /// One-shot timer. The callback is dropped (not fired) if cancelled or if
   /// the Endpoint is destroyed first.
@@ -52,10 +78,13 @@ class Endpoint {
   void cancel_all_timers();
 
  private:
-  Network& net_;
+  Network* net_ = nullptr;        // exactly one of net_ / transport_ is set
+  Transport* transport_ = nullptr;
   NodeId id_;
   std::uint64_t next_timer_ = 1;
-  std::unordered_map<std::uint64_t, EventId> timers_;
+  /// Sim path: values are Scheduler EventIds packed (slot | gen << 32).
+  /// Transport path: values are TransportTimer tokens.
+  std::unordered_map<std::uint64_t, std::uint64_t> timers_;
 };
 
 }  // namespace msw

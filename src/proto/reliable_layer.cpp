@@ -103,9 +103,11 @@ void ReliableLayer::start() {
   tr_ = &ctx().tracer();
   n_nack_ = tr_->intern("rel.nack");
   n_retx_ = tr_->intern("rel.retransmit");
+  n_refill_ = tr_->intern("rel.self_refill");
   if (MetricsRegistry* reg = ctx().metrics()) {
     reg->attach_counter("rel.nacks_sent", &stats_.nacks_sent);
     reg->attach_counter("rel.retransmissions", &stats_.retransmissions);
+    reg->attach_counter("rel.self_refills", &stats_.self_refills);
     reg->attach_counter("rel.duplicates_dropped", &stats_.duplicates_dropped);
     reg->attach_counter("rel.nack_bytes_sent", &stats_.nack_bytes_sent);
     reg->attach_counter("rel.nack_entries_sent", &stats_.nack_entries_sent);
@@ -416,7 +418,43 @@ void ReliableLayer::on_ack_vector(
   collect_store_garbage();
 }
 
+void ReliableLayer::refill_own_gaps() {
+  // A crash drops a node's own in-flight loopback copies along with
+  // everything else, leaving gaps in its *own* stream that no peer can fill
+  // for it: send_nacks skips the self origin (NACKing yourself over the
+  // wire is a no-op while you are the one holding the copy). Re-deliver the
+  // missing copies straight from sent_buffer_ — the local analogue of a
+  // retransmission. Without this, every causal successor of the lost sends
+  // (our own later messages included) blocks above us forever.
+  //
+  // Only sequences sent before the *previous* NACK tick are eligible, so a
+  // copy whose loopback delivery is merely in flight (microseconds) is
+  // never raced: in a fault-free run this path never fires.
+  const std::uint64_t bound = refill_bound_;
+  refill_bound_ = next_seq_;
+  if (bound == 0) return;
+  OriginState& own = origins_[ctx().self().v];
+  if (own.track.contiguous() >= bound) return;
+  const std::vector<SeqRange> missing = own.track.missing_ranges(bound, kMaxNackBatch);
+  std::vector<std::pair<std::uint64_t, Payload>> copies;
+  for (const SeqRange& rg : missing) {
+    for (auto it = sent_buffer_.lower_bound(rg.begin);
+         it != sent_buffer_.end() && it->first < rg.end; ++it) {
+      copies.emplace_back(it->first, it->second);
+    }
+  }
+  for (auto& [seq, p] : copies) {
+    ++stats_.self_refills;
+    tr_->instant(n_refill_, TelemetryTrack::kData, seq);
+    Message m;
+    m.data = std::move(p);
+    m.wire_src = ctx().self();
+    up_impl(std::move(m), nullptr);
+  }
+}
+
 void ReliableLayer::send_nacks() {
+  refill_own_gaps();
   for (auto& [origin, o] : origins_) {
     if (origin == ctx().self().v) continue;
     const std::vector<SeqRange> missing = o.track.missing_ranges(o.announced, kMaxNackBatch);
@@ -580,10 +618,18 @@ bool ReliableLayer::counts_for_gc(std::uint32_t member) const {
 
 void ReliableLayer::collect_garbage() {
   // A copy may be dropped once every counted member has acknowledged a
-  // contiguous prefix covering it (we trivially have our own messages).
-  // A member we never heard from counts as acked=0 — it blocks collection
-  // exactly until the eviction horizon removes it from the quorum.
+  // contiguous prefix covering it. A member we never heard from counts as
+  // acked=0 — it blocks collection exactly until the eviction horizon
+  // removes it from the quorum. Our own *delivery* counts too: holding the
+  // bytes is not the same as having delivered them — a crash can drop our
+  // loopback copies, and refill_own_gaps re-delivers from this buffer, so
+  // collection must wait for our own contiguous prefix as well.
   std::uint64_t min_acked = next_seq_;
+  if (const auto own = origins_.find(ctx().self().v); own != origins_.end()) {
+    min_acked = std::min(min_acked, own->second.track.contiguous());
+  } else if (next_seq_ > 0) {
+    min_acked = 0;  // sent, but nothing self-delivered yet
+  }
   for (const NodeId& member : ctx().members()) {
     if (member == ctx().self() || !counts_for_gc(member.v)) continue;
     const auto it = acked_by_.find(member.v);

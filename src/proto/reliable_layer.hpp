@@ -142,6 +142,9 @@ class ReliableLayer : public Layer {
   struct Stats {
     std::uint64_t nacks_sent = 0;
     std::uint64_t retransmissions = 0;
+    /// Own-stream copies re-delivered locally from sent_buffer_ after a
+    /// crash dropped their loopback copies (see refill_own_gaps).
+    std::uint64_t self_refills = 0;
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t buffered_copies = 0;  // currently held for retransmission
     /// Control-plane accounting (headers incl. framing, as sent down).
@@ -184,6 +187,7 @@ class ReliableLayer : public Layer {
                      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& cums);
 
   void send_nacks();
+  void refill_own_gaps();
   void send_heartbeat();
   void send_acks();
   void ack_tick();
@@ -218,10 +222,14 @@ class ReliableLayer : public Layer {
   // tick counter driving periodic full snapshots.
   std::unordered_map<std::uint32_t, std::uint64_t> last_ack_sent_;
   std::uint32_t ack_round_ = 0;
+  // Own-stream sequences below this bound have had a full NACK interval
+  // for their loopback copy to arrive; anything still missing is lost
+  // (crash downtime) and is re-delivered from sent_buffer_.
+  std::uint64_t refill_bound_ = 0;
   Stats stats_;
 
   Tracer* tr_ = &Tracer::disabled();
-  std::uint32_t n_nack_ = 0, n_retx_ = 0;
+  std::uint32_t n_nack_ = 0, n_retx_ = 0, n_refill_ = 0;
 };
 
 }  // namespace msw

@@ -1,0 +1,31 @@
+#include "rt/executor.hpp"
+
+namespace msw {
+
+Executor::Executor(std::size_t shards) {
+  loops_.reserve(shards == 0 ? 1 : shards);
+  for (std::size_t i = 0; i < (shards == 0 ? 1 : shards); ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+}
+
+Executor::~Executor() { stop(); }
+
+void Executor::start() {
+  if (running_) return;
+  running_ = true;
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    threads_.emplace_back([l = loop.get()] { l->run(); });
+  }
+}
+
+void Executor::stop() {
+  if (!running_) return;
+  for (auto& loop : loops_) loop->stop();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  running_ = false;
+}
+
+}  // namespace msw

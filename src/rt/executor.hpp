@@ -1,0 +1,47 @@
+// Sharded multithreaded executor: N worker threads, each running one
+// EventLoop. A group of protocol stacks is pinned wholesale to one shard
+// (Transport::add_node's shard_hint), so every callback into a group —
+// packet, timer, injected task — runs on that group's single thread, and
+// the layer code keeps the same single-threaded semantics it has in the
+// simulator. Shards scale across groups, not within one: cross-shard
+// traffic flows through each loop's lock-free MPSC inbox.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/event_loop.hpp"
+
+namespace msw {
+
+class Executor {
+ public:
+  /// Creates `shards` event loops (>= 1) but no threads yet; wiring (node
+  /// creation, fd registration) happens single-threaded before start().
+  explicit Executor(std::size_t shards);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t shards() const { return loops_.size(); }
+  EventLoop& loop(std::size_t shard) { return *loops_[shard]; }
+
+  /// Spawn one worker thread per shard.
+  void start();
+
+  /// Stop every loop and join the workers. Idempotent. After this the
+  /// loops' state may be inspected or torn down single-threaded.
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> threads_;
+  bool running_ = false;
+};
+
+}  // namespace msw

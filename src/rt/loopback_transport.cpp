@@ -1,0 +1,22 @@
+#include "rt/loopback_transport.hpp"
+
+namespace msw {
+
+void LoopbackTransport::send(NodeId from, NodeId to, Payload data) {
+  count_sent();
+  post(to, [this, from, to, data = std::move(data)]() mutable {
+    deliver(to, Packet{from, std::move(data)});
+  });
+}
+
+void LoopbackTransport::multicast(NodeId from, const std::vector<NodeId>& to, Payload data) {
+  count_sent(to.size());
+  for (const NodeId dst : to) {
+    // The copy bumps the shared refcount; all destinations alias one buffer.
+    post(dst, [this, from, dst, data]() mutable {
+      deliver(dst, Packet{from, std::move(data)});
+    });
+  }
+}
+
+}  // namespace msw

@@ -1,0 +1,28 @@
+// In-process transport over real threads.
+//
+// A send posts the packet into the destination node's shard inbox (the
+// EventLoop's lock-free MPSC queue); the shard thread pops it and invokes
+// the receive handler. Multicast copies share the payload buffer via the
+// Payload refcount, exactly like the sim's hardware-multicast model — the
+// fan-out allocates inbox nodes, never byte copies.
+//
+// Semantics relative to the sim: no loss, no reorder on a (src, dst) pair
+// (the MPSC queue is FIFO per producer), latency = scheduling delay. The
+// asynchrony is real — a handler never runs inside the sender's call
+// frame, even when sender and receiver share a shard, mirroring the sim's
+// always-via-the-scheduler delivery.
+#pragma once
+
+#include "rt/threaded_transport.hpp"
+
+namespace msw {
+
+class LoopbackTransport final : public ThreadedTransport {
+ public:
+  explicit LoopbackTransport(Executor& ex) : ThreadedTransport(ex) {}
+
+  void send(NodeId from, NodeId to, Payload data) override;
+  void multicast(NodeId from, const std::vector<NodeId>& to, Payload data) override;
+};
+
+}  // namespace msw

@@ -1,0 +1,23 @@
+#include "rt/sim_transport.hpp"
+
+namespace msw {
+
+TransportTimer SimTransport::set_timer(NodeId /*node*/, Duration delay,
+                                       std::function<void()> fn) {
+  const std::uint64_t tid = next_timer_++;
+  EventId ev = net_.scheduler().after(delay, [this, tid, fn = std::move(fn)]() {
+    timers_.erase(tid);
+    fn();
+  });
+  timers_.emplace(tid, ev);
+  return TransportTimer{tid};
+}
+
+void SimTransport::cancel_timer(NodeId /*node*/, TransportTimer timer) {
+  auto it = timers_.find(timer.v);
+  if (it == timers_.end()) return;
+  net_.scheduler().cancel(it->second);
+  timers_.erase(it);
+}
+
+}  // namespace msw

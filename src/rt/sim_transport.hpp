@@ -1,0 +1,57 @@
+// Transport backend over the deterministic discrete-event simulator.
+//
+// A pure forwarding shim: every operation maps 1:1 onto the call the
+// pre-runtime code made directly on Network/Scheduler, in the same order,
+// drawing the same RNG streams — so a stack built over a SimTransport
+// produces byte-identical traces to one built over the Network, and the
+// simulator remains the reproducible substrate for tests and fuzzing.
+#pragma once
+
+#include <unordered_map>
+
+#include "rt/transport.hpp"
+#include "sim/scheduler.hpp"
+
+namespace msw {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& net) : net_(net) {}
+
+  NodeId add_node(std::size_t /*shard_hint*/ = 0) override { return net_.add_node(); }
+
+  void set_handler(NodeId node, PacketHandler handler) override {
+    net_.set_handler(node, std::move(handler));
+  }
+  void set_run_handler(NodeId node, PacketRunHandler handler) override {
+    net_.set_run_handler(node, std::move(handler));
+  }
+
+  void send(NodeId from, NodeId to, Payload data) override {
+    net_.send(from, to, std::move(data));
+  }
+  void multicast(NodeId from, const std::vector<NodeId>& to, Payload data) override {
+    net_.multicast(from, to, std::move(data));
+  }
+  void multicast_run(NodeId from, const std::vector<NodeId>& to,
+                     std::span<const Payload> msgs) override {
+    net_.multicast_run(from, to, msgs);
+  }
+
+  TransportTimer set_timer(NodeId /*node*/, Duration delay, std::function<void()> fn) override;
+  void cancel_timer(NodeId node, TransportTimer timer) override;
+
+  Time now() const override { return net_.scheduler().now(); }
+  void consume_cpu(NodeId node, Duration d) override { net_.consume_cpu(node, d); }
+  TickArena* tick_arena() override { return &net_.scheduler().tick_arena(); }
+  bool deterministic() const override { return true; }
+
+  Network& network() { return net_; }
+
+ private:
+  Network& net_;
+  std::uint64_t next_timer_ = 1;
+  std::unordered_map<std::uint64_t, EventId> timers_;
+};
+
+}  // namespace msw

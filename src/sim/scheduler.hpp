@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/clock.hpp"
 #include "util/bytes.hpp"
 #include "util/function_ref.hpp"
 
@@ -95,7 +96,7 @@ struct EventId {
   friend bool operator==(EventId a, EventId b) { return a.slot == b.slot && a.gen == b.gen; }
 };
 
-class Scheduler {
+class Scheduler : public TelemetryClock {
  public:
   using Fn = UniqueFunction<void()>;
 
@@ -126,6 +127,8 @@ class Scheduler {
   std::size_t run_bounded(std::size_t limit);
 
   Time now() const { return now_; }
+  /// TelemetryClock: event timestamps in the sim domain are simulated time.
+  Time telemetry_now() const override { return now_; }
   std::size_t pending() const { return size_; }
   std::uint64_t executed() const { return executed_; }
   std::uint64_t cancelled() const { return cancelled_; }

@@ -9,6 +9,18 @@ Stack::Stack(Network& net, NodeId self, std::vector<NodeId> members,
              std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture,
              TelemetryHub* hub)
     : endpoint_(net, self), members_(std::move(members)), rng_(rng), capture_(capture) {
+  wire(std::move(layers), hub);
+}
+
+Stack::Stack(Transport& transport, NodeId self, std::vector<NodeId> members,
+             std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture,
+             TelemetryHub* hub)
+    : endpoint_(transport, self), members_(std::move(members)), rng_(rng), capture_(capture) {
+  wire(std::move(layers), hub);
+}
+
+void Stack::wire(std::vector<std::unique_ptr<Layer>> layers, TelemetryHub* hub) {
+  const NodeId self = endpoint_.id();
   if (hub != nullptr) {
     tracer_ = &hub->tracer(self.v);
     metrics_ = &hub->node_metrics(self.v);

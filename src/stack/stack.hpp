@@ -34,6 +34,13 @@ class Stack : public Services {
         std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture = nullptr,
         TelemetryHub* hub = nullptr);
 
+  /// Same stack over the runtime boundary: `self` must already exist on
+  /// `transport`. The layers are identical — the medium is the only thing
+  /// that changes (sim adapter, threaded loopback, or UDP sockets).
+  Stack(Transport& transport, NodeId self, std::vector<NodeId> members,
+        std::vector<std::unique_ptr<Layer>> layers, Rng rng, TraceCapture* capture = nullptr,
+        TelemetryHub* hub = nullptr);
+
   Stack(const Stack&) = delete;
   Stack& operator=(const Stack&) = delete;
 
@@ -71,16 +78,20 @@ class Stack : public Services {
   }
   void cancel_timer(TimerId id) override { endpoint_.cancel_timer(id); }
   Rng& rng() override { return rng_; }
-  void consume_cpu(Duration d) override { endpoint_.network().consume_cpu(self(), d); }
+  void consume_cpu(Duration d) override { endpoint_.consume_cpu(d); }
   Tracer& tracer() override { return *tracer_; }
   MetricsRegistry* metrics() override { return metrics_; }
   bool batching() const override { return batching_; }
-  TickArena* tick_arena() override { return &endpoint_.network().scheduler().tick_arena(); }
+  TickArena* tick_arena() override { return endpoint_.tick_arena(); }
 
   LayerChain& chain() { return *chain_; }
   Endpoint& endpoint() { return endpoint_; }
 
  private:
+  /// Shared constructor body: telemetry wiring, chain construction, and
+  /// receive-handler installation (identical for every medium).
+  void wire(std::vector<std::unique_ptr<Layer>> layers, TelemetryHub* hub);
+
   void to_network(Message m);
   void to_app(Message m);
   void on_packet(Packet p);

@@ -1,0 +1,34 @@
+// Clock boundary for the telemetry plane.
+//
+// Tracers stamp events through this interface so the same layer code can
+// run under the deterministic simulator (timestamps are simulated
+// microseconds, byte-reproducible for a seed) or under the real-transport
+// runtime (timestamps are monotonic wall-clock microseconds since runtime
+// start). A TelemetryHub records which domain its clock measures so
+// exporters and humans can tell a sim trace from a wall trace.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace msw {
+
+class TelemetryClock {
+ public:
+  virtual ~TelemetryClock() = default;
+
+  /// Current time in microseconds. Sim domain: simulated time since
+  /// simulation start. Wall domain: monotonic time since runtime start.
+  virtual Time telemetry_now() const = 0;
+};
+
+/// Which physical quantity a run's timestamps measure.
+enum class ClockDomain : std::uint8_t {
+  kSim = 0,   // deterministic simulated microseconds
+  kWall = 1,  // monotonic wall-clock microseconds
+};
+
+constexpr const char* to_string(ClockDomain d) {
+  return d == ClockDomain::kSim ? "sim" : "wall";
+}
+
+}  // namespace msw

@@ -17,13 +17,13 @@
 #include <memory>
 #include <vector>
 
+#include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace msw {
 
-class Scheduler;
 class Network;
 
 class TelemetryHub {
@@ -34,8 +34,15 @@ class TelemetryHub {
   TelemetryHub(const TelemetryHub&) = delete;
   TelemetryHub& operator=(const TelemetryHub&) = delete;
 
-  /// Clock used to stamp events (the Simulation's scheduler).
-  void attach_clock(const Scheduler* clock) { clock_ = clock; }
+  /// Clock used to stamp events: the Simulation's scheduler (sim domain) or
+  /// the runtime's wall clock (wall domain). Events emitted by tracers
+  /// created before this call keep the old clock, so attach before wiring.
+  void attach_clock(const TelemetryClock* clock, ClockDomain domain = ClockDomain::kSim) {
+    clock_ = clock;
+    clock_domain_ = domain;
+  }
+  /// Whether this run's timestamps are simulated or wall-clock time.
+  ClockDomain clock_domain() const { return clock_domain_; }
   /// Network supplying node incarnations (and whose NetStats feed the
   /// global registry via Network::bind_metrics). Last writer wins when a
   /// simulation runs several networks.
@@ -81,7 +88,8 @@ class TelemetryHub {
   MetricsRegistry global_;
   std::map<std::uint32_t, std::unique_ptr<Tracer>> tracers_;
   std::map<std::uint32_t, std::unique_ptr<MetricsRegistry>> node_metrics_;
-  const Scheduler* clock_ = nullptr;
+  const TelemetryClock* clock_ = nullptr;
+  ClockDomain clock_domain_ = ClockDomain::kSim;
   const Network* net_ = nullptr;
   TelemetrySink* sink_ = nullptr;
   bool tracing_ = false;

@@ -10,7 +10,7 @@ Tracer& Tracer::disabled() {
   return t;
 }
 
-void Tracer::configure(NameTable* names, const Scheduler* clock, std::uint32_t node,
+void Tracer::configure(NameTable* names, const TelemetryClock* clock, std::uint32_t node,
                        const Network* net) {
   names_ = names;
   clock_ = clock;
@@ -25,7 +25,7 @@ void Tracer::enable(std::size_t ring_capacity) {
 void Tracer::emit(EventKind kind, std::uint32_t name, TelemetryTrack track, std::uint64_t arg,
                   std::uint64_t arg2) {
   TelemetryEvent e;
-  e.t = clock_ ? clock_->now() : 0;
+  e.t = clock_ ? clock_->telemetry_now() : 0;
   e.epoch = epoch_;
   e.incarnation = net_ ? net_->incarnation(NodeId{node_}) : 0;
   e.arg = arg;

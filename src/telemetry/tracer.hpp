@@ -15,6 +15,7 @@
 #include <memory>
 #include <string_view>
 
+#include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"
 
 #ifndef MSW_TELEMETRY_ENABLED
@@ -23,7 +24,6 @@
 
 namespace msw {
 
-class Scheduler;
 class Network;
 
 class Tracer {
@@ -35,8 +35,9 @@ class Tracer {
   static Tracer& disabled();
 
   /// Wire identity and clock sources. `names` may be shared across nodes;
-  /// `net` supplies the incarnation stamp and may be null.
-  void configure(NameTable* names, const Scheduler* clock, std::uint32_t node,
+  /// `net` supplies the incarnation stamp and may be null. The clock may be
+  /// a sim scheduler or a wall clock (see telemetry/clock.hpp).
+  void configure(NameTable* names, const TelemetryClock* clock, std::uint32_t node,
                  const Network* net);
 
   /// Attach a bounded ring and start recording.
@@ -88,7 +89,7 @@ class Tracer {
   std::unique_ptr<EventRing> ring_;
   TelemetrySink* sink_ = nullptr;
   NameTable* names_ = nullptr;
-  const Scheduler* clock_ = nullptr;
+  const TelemetryClock* clock_ = nullptr;
   const Network* net_ = nullptr;
   std::uint32_t node_ = 0;
   std::uint64_t epoch_ = 0;

@@ -113,6 +113,37 @@ TEST(Soak, ChurnAndSwitchesCleanSlow) {
   EXPECT_LE(res.peak_cells, res.cell_budget);
 }
 
+// The causal arm at tier-1 scale: 10^5 messages through the vector-clock
+// causal stack with churn (crash/restart pairs), loss, dup, and reorder
+// on. Clean causal+reliable verdict, bounded monitor state.
+TEST(Soak, CausalChurnSmoke) {
+  SoakConfig cfg;
+  cfg.stack = SoakConfig::Stack::kCausal;
+  cfg.messages = 100'000;
+  cfg.members = 8;
+  cfg.churn_interval = 4 * kSecond;  // activity ~12.5 s => a few pairs fire
+  const SoakResult res = run_soak(cfg);
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_EQ(res.sent, cfg.messages);
+  EXPECT_GT(res.crashes, 0u);
+  EXPECT_EQ(res.switches_installed, 0u);  // no SwitchLayer in this stack
+  EXPECT_LE(res.peak_cells, res.cell_budget);
+}
+
+// Wall-clock budget mode: complete rounds until the deadline, aggregate
+// verdict. A tiny budget must still complete at least one full round.
+TEST(Soak, BudgetSecondsRunsWholeRounds) {
+  SoakConfig cfg;
+  cfg.messages = 5'000;
+  cfg.members = 4;
+  cfg.budget_seconds = 1.0;
+  const SoakResult res = run_soak(cfg);
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_GE(res.rounds, 1u);
+  EXPECT_EQ(res.sent, res.rounds * cfg.messages);
+  EXPECT_GE(res.wall_seconds, cfg.budget_seconds);
+}
+
 // Sampling keeps the soak verdict clean and shrinks the window footprint.
 TEST(Soak, SampledRunStillClean) {
   SoakConfig cfg;
