@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Guard: rt observability instrumentation must not slow the data path.
+
+Compares BENCH_rt.json files from a default build (MSW_RT_STATS=ON: loop
+health probes, latency stamping, seqlock publication armed) and a
+-DMSW_RT_STATS=OFF build, and fails if msgs_per_sec_per_core drops by more
+than the allowed percentage (default 3, DESIGN.md section 14's budget) at
+any group size. The OFF build keeps the whole stats plane — flags, the
+publisher thread, the flush timers — and compiles out only the hot-path
+probes, so the comparison isolates exactly the per-message probe cost.
+
+Two defenses against shared-runner noise, where single wall-clock runs
+swing by +/-10% or more — far beyond the budget being enforced:
+
+* The gated metric is msgs_per_cpu_sec (unique multicasts per CPU-second,
+  user+sys over all threads), not wall throughput. Probe cost IS CPU
+  cost, and CPU time is immune to the scheduler preemption that dominates
+  wall variance. Older files without the field fall back to
+  msgs_per_sec_per_core.
+* Each side takes a comma-separated list of repetition files, recorded
+  INTERLEAVED (on, off, on, off, ...): repetition i of each side ran
+  back-to-back under near-identical machine conditions, so the ratio
+  on[i]/off[i] cancels slow drift (frequency scaling, noisy neighbors).
+  The gate is the median of those paired ratios per group size — robust
+  to an outlier run on either side, which a best-of or mean-of
+  comparison is not.
+
+Usage: check_rt_stats_overhead.py ON1.json[,ON2.json...] \
+                                  OFF1.json[,OFF2.json...] [max_pct]
+(The two lists must pair up: same length, matching run order.)
+"""
+import json
+import statistics
+import sys
+
+
+def rates(path):
+    """n -> msgs_per_cpu_sec (fallback: msgs_per_sec_per_core) per file."""
+    with open(path) as f:
+        raw = json.load(f)
+    if raw.get("bench") != "rt_throughput":
+        sys.exit(f"{path}: not a bench_rt_throughput JSON")
+    return {row["n"]: row.get("msgs_per_cpu_sec") or row["msgs_per_sec_per_core"]
+            for row in raw["rows"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    on_reps = [rates(p) for p in sys.argv[1].split(",")]
+    off_reps = [rates(p) for p in sys.argv[2].split(",")]
+    limit = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+    if len(on_reps) != len(off_reps):
+        sys.exit(f"unpaired repetitions: {len(on_reps)} ON vs {len(off_reps)} OFF")
+
+    common = sorted(set().union(*on_reps) & set().union(*off_reps))
+    if not common:
+        sys.exit("no common group sizes between the ON and OFF files")
+
+    failed = []
+    for n in common:
+        ratios = [on[n] / off[n]
+                  for on, off in zip(on_reps, off_reps)
+                  if n in on and n in off and off[n] > 0]
+        if not ratios:
+            continue
+        slowdown = 100.0 * (1.0 - statistics.median(ratios))
+        print(f"n={n}: paired on/off ratios "
+              f"{[f'{r:.3f}' for r in ratios]} -> {slowdown:+.2f}% slowdown")
+        if slowdown > limit:
+            failed.append(str(n))
+    if failed:
+        sys.exit(f"rt stats overhead exceeds {limit}% at n: {', '.join(failed)}")
+    print(f"ok: instrumented rt data path within {limit}% of the stats-off build")
+
+
+if __name__ == "__main__":
+    main()

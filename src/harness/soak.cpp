@@ -18,6 +18,7 @@
 #include "switch/hybrid.hpp"
 #include "switch/switch_layer.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/stats_io.hpp"
 
 namespace msw {
 namespace {
@@ -85,7 +86,8 @@ std::size_t soak_cell_budget(std::size_t members, std::size_t window_cap, bool c
 namespace {
 
 SoakResult run_soak_once(const SoakConfig& cfg,
-                         const std::function<bool(Time, std::uint64_t)>& progress) {
+                         const std::function<bool(Time, std::uint64_t)>& progress,
+                         std::ostream* stats_os, std::size_t round) {
   const bool causal = cfg.stack == SoakConfig::Stack::kCausal;
   SoakResult res;
   res.cell_budget = soak_cell_budget(cfg.members, cfg.window_cap, causal);
@@ -171,6 +173,22 @@ SoakResult run_soak_once(const SoakConfig& cfg,
     }
   }
 
+  // Stats time-series: one stats_io JSONL line per stats_interval of sim
+  // time, from the aggregate registry (counters; the aggregate view skips
+  // gauges/histograms) plus the soak's own footprint scalars.
+  Time next_stats = cfg.stats_interval;
+  const auto emit_stats = [&] {
+    if (stats_os == nullptr) return;
+    StatsSnapshot snap = snapshot_from_registry("soak", static_cast<std::uint64_t>(sim.now()),
+                                                sim.telemetry().aggregate_metrics());
+    snap.scalars.push_back({"soak.round", static_cast<std::uint64_t>(round)});
+    snap.scalars.push_back({"soak.delivered", group.total_delivered()});
+    snap.scalars.push_back({"soak.monitor.cells",
+                            static_cast<std::uint64_t>(monitors.state_cells())});
+    snap.scalars.push_back({"soak.monitor.violations", monitors.violations().total()});
+    write_stats_line(*stats_os, snap);
+  };
+
   // Main loop: 1 s sim chunks; after each, scan for stalls, track the
   // monitor footprint, and stop on the first violation.
   bool aborted = false;
@@ -178,6 +196,10 @@ SoakResult run_soak_once(const SoakConfig& cfg,
     sim.run_for(1 * kSecond);
     monitors.check_stalls(sim.now());
     res.peak_cells = std::max(res.peak_cells, monitors.state_cells());
+    if (stats_os != nullptr && cfg.stats_interval > 0 && sim.now() >= next_stats) {
+      next_stats = sim.now() + cfg.stats_interval;
+      emit_stats();
+    }
     if (progress && !progress(sim.now(), group.total_delivered())) {
       aborted = true;
       return false;
@@ -208,6 +230,8 @@ SoakResult run_soak_once(const SoakConfig& cfg,
     }
     monitors.finalize(sim.now());
   }
+
+  emit_stats();  // final settled line, so short runs still leave one sample
 
   res.sent = group.total_sent();
   res.delivered = group.total_delivered();
@@ -259,7 +283,14 @@ SoakResult run_soak_once(const SoakConfig& cfg,
 
 SoakResult run_soak(const SoakConfig& cfg,
                     const std::function<bool(Time, std::uint64_t)>& progress) {
-  if (cfg.budget_seconds <= 0) return run_soak_once(cfg, progress);
+  std::ofstream stats_file;
+  std::ostream* stats_os = nullptr;
+  if (!cfg.stats_out.empty()) {
+    stats_file.open(cfg.stats_out, std::ios::out | std::ios::trunc);
+    if (stats_file.is_open()) stats_os = &stats_file;
+  }
+
+  if (cfg.budget_seconds <= 0) return run_soak_once(cfg, progress, stats_os, 0);
 
   // Wall-clock budget mode: complete rounds of cfg.messages sends, each a
   // fresh simulation under a derived seed, until the deadline. A round
@@ -276,7 +307,7 @@ SoakResult run_soak(const SoakConfig& cfg,
     SoakConfig round_cfg = cfg;
     round_cfg.seed = cfg.seed + agg.rounds;
     round_cfg.budget_seconds = 0;
-    const SoakResult r = run_soak_once(round_cfg, progress);
+    const SoakResult r = run_soak_once(round_cfg, progress, stats_os, agg.rounds);
     ++agg.rounds;
     agg.sent += r.sent;
     agg.delivered += r.delivered;

@@ -72,6 +72,15 @@ struct SoakConfig {
   /// nightly job uses this to fill its time slot regardless of how fast
   /// the host is; 0 keeps the fixed-message-count behavior.
   double budget_seconds = 0;
+
+  /// Stats time-series: when stats_out is non-empty, one JSONL line (the
+  /// stats_io format shared with the rt plane) is appended per
+  /// stats_interval of sim time — the aggregate metrics registry plus the
+  /// soak's own delivered/cells/violations scalars. The file is truncated
+  /// once per run_soak call, so budget-mode rounds append to one series
+  /// (t_us restarts per round; "soak.round" disambiguates).
+  Duration stats_interval = 1 * kSecond;
+  std::string stats_out;
 };
 
 struct SoakResult {

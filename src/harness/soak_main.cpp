@@ -38,6 +38,8 @@ namespace {
                "  --switch-ms N        ms between protocol switches (default 5000; 0 off)\n"
                "  --sample N           monitor sampling period, 1 = check all (default 1)\n"
                "  --window N           monitor window cap (default 32768)\n"
+               "  --stats-out F        append a stats JSONL line per interval of sim time\n"
+               "  --stats-interval N   ms of sim time between stats lines (default 1000)\n"
                "  --quiet              suppress per-chunk progress on stderr\n"
                "  --dump-dir D         directory for the flight record on failure (default .)\n",
                argv0);
@@ -94,6 +96,11 @@ int main(int argc, char** argv) {
       cfg.sample_period = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--window") {
       cfg.window_cap = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--stats-out") {
+      cfg.stats_out = value();
+    } else if (arg == "--stats-interval") {
+      cfg.stats_interval =
+          static_cast<msw::Duration>(std::strtoull(value(), nullptr, 10)) * msw::kMillisecond;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--dump-dir") {

@@ -134,6 +134,11 @@ void EventLoop::fire_due_timers(std::int64_t now) {
     Task fn = std::move(it->second);
     timers_.erase(it);
     ++timers_fired_;
+#if MSW_RT_STATS_ENABLED
+    // Loop-lag: how late this fire is versus its scheduled deadline. `now`
+    // is sampled once per drain pass, so same-pass timers share a stamp.
+    if (observer_ != nullptr) observer_->on_timer_lag(now - e.deadline_ns);
+#endif
     fn();
   }
 }
@@ -163,6 +168,13 @@ void EventLoop::run() {
       ++drained;
       fn();
     }
+#if MSW_RT_STATS_ENABLED
+    // Consumer-side backlog probe: what this pass drained is the loop's own
+    // measure of how far behind it was, and costs the producers nothing.
+    // Saturates at kMaxDrainPerIter under overload.
+    inbox_last_ = static_cast<std::int64_t>(drained);
+    if (inbox_last_ > inbox_hwm_) inbox_hwm_ = inbox_last_;
+#endif
     if (stop_.load(std::memory_order_acquire)) break;
 
     int timeout_ms = 0;

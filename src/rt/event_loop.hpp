@@ -26,7 +26,27 @@
 #include <unordered_map>
 #include <vector>
 
+// Compile-time gate for the hot-path health instrumentation (drain-pass
+// backlog probe, timer-lag observer calls). CMake defines it 0/1 from the
+// MSW_RT_STATS option; OFF leaves the loop byte-for-byte at its PR-8 cost
+// so the stats-overhead CI guard measures exactly the instrumentation
+// delta. All probes are consumer-side: post() is identical either way.
+#ifndef MSW_RT_STATS_ENABLED
+#define MSW_RT_STATS_ENABLED 1
+#endif
+
 namespace msw {
+
+/// Loop-health callback surface: installed during the single-threaded
+/// wiring phase, invoked on the loop thread only. The rt stats plane's
+/// per-shard registry implements it; keeping it an interface avoids an
+/// rt -> rt/stats dependency cycle.
+class LoopObserver {
+ public:
+  virtual ~LoopObserver() = default;
+  /// A timer fired `lag_ns` after its scheduled deadline (>= 0).
+  virtual void on_timer_lag(std::int64_t lag_ns) = 0;
+};
 
 class EventLoop {
  public:
@@ -73,10 +93,26 @@ class EventLoop {
     return loop_thread_.load(std::memory_order_acquire) == std::this_thread::get_id();
   }
 
+  /// Install the loop-health observer. Wiring phase only (before run()).
+  void set_observer(LoopObserver* obs) { observer_ = obs; }
+
   // Observability (read from the loop thread, or after the thread joined).
   std::uint64_t tasks_run() const { return tasks_run_; }
   std::uint64_t timers_fired() const { return timers_fired_; }
   std::uint64_t wakeups() const { return wakeups_; }
+  /// Pending + in-flight timers (live heap entries; cancelled-but-unpopped
+  /// tokens are excluded). Loop thread or post-join only.
+  std::size_t timer_heap_size() const { return timers_.size(); }
+
+  // Consumer-side backlog probes, populated only when MSW_RT_STATS_ENABLED.
+  // Producers pay nothing for these: the loop counts what it drains, so the
+  // numbers are per-pass backlog observations, not an exact queue size.
+  /// Tasks drained in the most recent completed drain pass — the loop's own
+  /// view of how far behind it was when it came around. Saturates at the
+  /// per-iteration drain cap under overload. Loop thread or post-join only.
+  std::int64_t inbox_depth() const { return inbox_last_; }
+  /// High-water mark of inbox_depth(). Loop thread or post-join only.
+  std::int64_t inbox_depth_hwm() const { return inbox_hwm_; }
 
  private:
   struct TaskNode {
@@ -120,6 +156,10 @@ class EventLoop {
   std::uint64_t tasks_run_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t wakeups_ = 0;
+
+  LoopObserver* observer_ = nullptr;  // wiring-phase set, loop-thread use
+  std::int64_t inbox_last_ = 0;       // consumer-only
+  std::int64_t inbox_hwm_ = 0;        // consumer-only
 };
 
 }  // namespace msw

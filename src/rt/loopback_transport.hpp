@@ -23,6 +23,7 @@ class LoopbackTransport final : public ThreadedTransport {
 
   void send(NodeId from, NodeId to, Payload data) override;
   void multicast(NodeId from, const std::vector<NodeId>& to, Payload data) override;
+  const char* backend_name() const override { return "loopback"; }
 };
 
 }  // namespace msw

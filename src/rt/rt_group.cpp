@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "rt/stats/latency.hpp"
 #include "telemetry/hub.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +19,12 @@ RtGroup::RtGroup(ThreadedTransport& transport, std::size_t n, const LayerFactory
   }
   members_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) members_.push_back(transport.add_node(shard));
+  if (hub != nullptr) {
+    // Shard pinning feeds the Chrome exporter's per-shard flight view.
+    for (const NodeId m : members_) {
+      hub->set_node_shard(m.v, static_cast<std::uint32_t>(shard));
+    }
+  }
   Rng root(seed);
   stacks_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -57,12 +64,56 @@ void RtGroup::start() {
   });
 }
 
+void RtGroup::attach_latency(LatencyTracker* t) {
+#if MSW_RT_STATS_ENABLED
+  latency_ = t;
+  for (auto& s : stacks_) {
+    // The tracker's sample mask gates the hook inline inside Stack, so an
+    // unsampled delivery (the common case at sample_shift > 0) costs one
+    // compare and never reaches this lambda or the clock read.
+    s->set_on_deliver(
+        [this](const MsgId& id, std::span<const Byte>) {
+          if (id.kind == MsgId::Kind::kData) {
+            latency_->on_deliver(id.sender, id.seq, transport_.now());
+          }
+        },
+        t->sample_mask());
+  }
+#else
+  (void)t;
+#endif
+}
+
 void RtGroup::send(std::size_t i, Bytes body) {
-  post([this, i, body = std::move(body)]() mutable { stacks_[i]->send(std::move(body)); });
+  post([this, i, body = std::move(body)]() mutable {
+#if MSW_RT_STATS_ENABLED
+    if (latency_ != nullptr) {
+      // stacks_[i]->sent() is the seq the imminent send will be assigned;
+      // stamping here (on the shard thread, just before submission) keeps
+      // the measurement at the Endpoint boundary without touching Stack.
+      const std::uint64_t seq = stacks_[i]->sent();
+      if (latency_->sampled(seq)) {
+        latency_->on_send(members_[i].v, seq, transport_.now());
+      }
+    }
+#endif
+    stacks_[i]->send(std::move(body));
+  });
 }
 
 void RtGroup::send_batch(std::size_t i, std::vector<Bytes> bodies) {
   post([this, i, bodies = std::move(bodies)]() mutable {
+#if MSW_RT_STATS_ENABLED
+    if (latency_ != nullptr) {
+      const std::uint64_t base = stacks_[i]->sent();
+      const Time now = transport_.now();
+      for (std::size_t k = 0; k < bodies.size(); ++k) {
+        if (latency_->sampled(base + k)) {
+          latency_->on_send(members_[i].v, base + k, now);
+        }
+      }
+    }
+#endif
     stacks_[i]->send_batch(std::move(bodies));
   });
 }

@@ -25,6 +25,7 @@
 namespace msw {
 
 class TelemetryHub;
+class LatencyTracker;
 
 class RtGroup {
  public:
@@ -77,12 +78,19 @@ class RtGroup {
 
   ThreadedTransport& transport() { return transport_; }
 
+  /// Wire end-to-end latency tracking (usually via RtStatsPlane::
+  /// attach_group). Wiring phase only. Claims every stack's on_deliver
+  /// hook and stamps each RtGroup::send/send_batch at post-execution time
+  /// on the shard thread. Compiled to a no-op when MSW_RT_STATS is off.
+  void attach_latency(LatencyTracker* t);
+
  private:
   ThreadedTransport& transport_;
   std::size_t shard_;
   std::vector<NodeId> members_;
   TraceCapture capture_;
   std::vector<std::unique_ptr<Stack>> stacks_;
+  LatencyTracker* latency_ = nullptr;  // shard-thread use after wiring
 };
 
 }  // namespace msw

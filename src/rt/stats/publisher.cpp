@@ -1,0 +1,135 @@
+#include "rt/stats/publisher.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace msw {
+namespace {
+
+/// Compact human rate: 12345 -> "12.3k", 1234567 -> "1.23M".
+std::string fmt_rate(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::uint64_t scalar_sum(const std::vector<StatsSnapshot>& shards, std::string_view name) {
+  std::uint64_t total = 0;
+  for (const StatsSnapshot& s : shards) {
+    if (const auto* sc = s.find_scalar(name)) total += sc->value;
+  }
+  return total;
+}
+
+std::uint64_t scalar_max(const std::vector<StatsSnapshot>& shards, std::string_view name) {
+  std::uint64_t best = 0;
+  for (const StatsSnapshot& s : shards) {
+    if (const auto* sc = s.find_scalar(name)) best = std::max(best, sc->value);
+  }
+  return best;
+}
+
+}  // namespace
+
+StatsPublisher::StatsPublisher(RtStatsPlane& plane, StatsPublisherConfig cfg)
+    : plane_(plane), cfg_(std::move(cfg)) {
+  if (cfg_.jsonl_stream != nullptr) {
+    out_ = cfg_.jsonl_stream;
+  } else if (!cfg_.jsonl_path.empty()) {
+    file_.open(cfg_.jsonl_path, std::ios::out | std::ios::trunc);
+    if (file_.is_open()) out_ = &file_;
+  }
+}
+
+StatsPublisher::~StatsPublisher() { stop(); }
+
+void StatsPublisher::start() {
+  stopped_ = false;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void StatsPublisher::stop() {
+  if (stopped_) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  tick();  // final emission: short runs still leave one complete sample
+  if (cfg_.dashboard) std::fputc('\n', stderr);
+  if (file_.is_open()) file_.close();
+  stopped_ = true;
+}
+
+void StatsPublisher::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::microseconds(cfg_.interval);
+    if (cv_.wait_for(lk, wait, [this] { return stop_requested_; })) break;
+    lk.unlock();
+    tick();
+    lk.lock();
+  }
+}
+
+void StatsPublisher::tick() {
+  const std::vector<StatsSnapshot> shards = plane_.collect();
+  const StatsSnapshot transport = plane_.transport_snapshot();
+  if (out_ != nullptr) {
+    for (const StatsSnapshot& s : shards) write_stats_line(*out_, s);
+    write_stats_line(*out_, transport);
+    out_->flush();
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.dashboard) render_dashboard(shards, transport);
+}
+
+void StatsPublisher::render_dashboard(const std::vector<StatsSnapshot>& shards,
+                                      const StatsSnapshot& transport) {
+  const std::uint64_t t_us = transport.t_us;
+  const auto val = [&](std::string_view name) {
+    const auto* s = transport.find_scalar(name);
+    return s == nullptr ? std::uint64_t{0} : s->value;
+  };
+  const std::uint64_t sent = val("rt.net.sent");
+  const std::uint64_t delivered = val("rt.net.delivered");
+  const std::uint64_t dropped = val("rt.net.dropped");
+  const std::uint64_t tasks = scalar_sum(shards, "rt.loop.tasks");
+
+  const double dt_s = last_t_us_ == 0 || t_us <= last_t_us_
+                          ? 0.0
+                          : static_cast<double>(t_us - last_t_us_) / 1e6;
+  const auto rate = [&](std::uint64_t now, std::uint64_t then) {
+    return dt_s <= 0.0 ? 0.0 : static_cast<double>(now - then) / dt_s;
+  };
+  const double tx_rate = rate(sent, last_sent_);
+  const double rx_rate = rate(delivered, last_delivered_);
+  const double task_rate = rate(tasks, last_tasks_);
+  last_t_us_ = t_us;
+  last_sent_ = sent;
+  last_delivered_ = delivered;
+  last_tasks_ = tasks;
+
+  const std::uint64_t inbox_hwm = scalar_max(shards, "rt.loop.inbox_hwm");
+  const StatsSnapshot::Hist lag = merge_hists(shards, "rt.loop.lag_us");
+  const StatsSnapshot::Hist e2e = merge_hists(shards, "rt.latency_us.");
+
+  std::fprintf(stderr,
+               "\r\x1b[2K[rt %s %7.1fs] tx %s/s rx %s/s drop %" PRIu64
+               " | tasks %s/s | inbox^ %" PRIu64 " | lag p99 %.0fus | e2e p50/p99 %.0f/%.0fus",
+               plane_.backend().c_str(), static_cast<double>(t_us) / 1e6,
+               fmt_rate(tx_rate).c_str(), fmt_rate(rx_rate).c_str(), dropped,
+               fmt_rate(task_rate).c_str(), inbox_hwm, lag.p99, e2e.p50, e2e.p99);
+  std::fflush(stderr);
+}
+
+}  // namespace msw

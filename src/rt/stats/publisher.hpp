@@ -1,0 +1,77 @@
+// Background publication of the rt stats plane: a dedicated thread wakes on
+// a configurable interval, takes seqlock snapshots of every shard (writers
+// never block — see rt/stats/seqlock.hpp), and emits
+//   - a JSONL time-series (one line per shard per tick, plus a transport
+//     totals line), byte-stable for identical snapshots, and/or
+//   - a live single-line ANSI dashboard on stderr (rates, inbox HWM, loop
+//     lag p99, merged end-to-end latency p50/p99).
+//
+// stop() performs one final emission after the thread joins, so short runs
+// always leave at least one complete tick in --stats-out.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "rt/stats/stats_plane.hpp"
+
+namespace msw {
+
+struct StatsPublisherConfig {
+  /// Publication interval (wall µs between ticks).
+  Duration interval = 500 * kMillisecond;
+  /// JSONL time-series path; empty disables the file.
+  std::string jsonl_path;
+  /// Stream override for tests; takes precedence over jsonl_path.
+  std::ostream* jsonl_stream = nullptr;
+  /// Render the single-line dashboard to stderr.
+  bool dashboard = false;
+};
+
+class StatsPublisher {
+ public:
+  /// The plane (and everything it observes) must outlive the publisher.
+  StatsPublisher(RtStatsPlane& plane, StatsPublisherConfig cfg);
+  ~StatsPublisher();  // stops if still running
+
+  StatsPublisher(const StatsPublisher&) = delete;
+  StatsPublisher& operator=(const StatsPublisher&) = delete;
+
+  void start();
+  /// Join the thread, emit one final tick, and (if the dashboard ran)
+  /// terminate its line. Idempotent.
+  void stop();
+
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+  void tick();
+  void render_dashboard(const std::vector<StatsSnapshot>& shards,
+                        const StatsSnapshot& transport);
+
+  RtStatsPlane& plane_;
+  StatsPublisherConfig cfg_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> ticks_{0};
+
+  // Dashboard rate state (publisher thread only).
+  std::uint64_t last_t_us_ = 0;
+  std::uint64_t last_sent_ = 0;
+  std::uint64_t last_delivered_ = 0;
+  std::uint64_t last_tasks_ = 0;
+};
+
+}  // namespace msw

@@ -1,0 +1,71 @@
+// Seqlock-style snapshot buffer: one writer publishes a fixed-size array of
+// 64-bit slots, any number of readers take consistent copies, and the
+// writer NEVER blocks — there is no lock to take, only a sequence bump and
+// plain relaxed stores. A reader that races a publication simply retries.
+//
+// This is the publication channel between a shard's loop thread (writer)
+// and the StatsPublisher thread (reader). The writer side costs two atomic
+// RMW-free stores plus N relaxed stores per publish; a reader pays a copy
+// and, rarely, a retry. Every slot is a std::atomic with relaxed ordering
+// bracketed by acquire/release fences on the sequence word — the classic
+// Boehm "Can seqlocks get along with programming language memory models?"
+// construction — so the protocol is data-race-free under TSan, not just in
+// practice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace msw {
+
+class SeqlockBuf {
+ public:
+  SeqlockBuf() = default;
+
+  SeqlockBuf(const SeqlockBuf&) = delete;
+  SeqlockBuf& operator=(const SeqlockBuf&) = delete;
+
+  /// Size the buffer. Single-threaded setup only (before the first
+  /// publish/read); existing contents are discarded.
+  void resize(std::size_t slots) {
+    buf_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i) buf_[i].store(0, std::memory_order_relaxed);
+    slots_ = slots;
+  }
+
+  std::size_t slots() const { return slots_; }
+
+  /// Writer: publish `n` (== slots()) values. Wait-free; single writer.
+  void publish(const std::uint64_t* src, std::size_t n) {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: publication open
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < n; ++i) buf_[i].store(src[i], std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);  // even: publication closed
+  }
+
+  /// Reader: copy a consistent snapshot into `dst`. Returns false if every
+  /// attempt raced a publication (only plausible when the writer publishes
+  /// continuously); `dst` then holds the last, possibly torn, attempt.
+  bool read(std::uint64_t* dst, std::size_t n, int max_attempts = 64) const {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;  // publication in flight
+      for (std::size_t i = 0; i < n; ++i) dst[i] = buf_[i].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return true;
+    }
+    return false;
+  }
+
+  /// Number of completed publications (even seq / 2). Any thread.
+  std::uint64_t generation() const { return seq_.load(std::memory_order_acquire) / 2; }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buf_;
+  std::size_t slots_ = 0;
+};
+
+}  // namespace msw

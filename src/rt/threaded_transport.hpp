@@ -37,6 +37,9 @@ class ThreadedTransport : public Transport, public TelemetryClock {
   Time telemetry_now() const override { return now(); }
   bool deterministic() const override { return false; }
 
+  /// Short backend tag for labeling stats/bench output ("loopback", "udp").
+  virtual const char* backend_name() const = 0;
+
   Executor& executor() { return ex_; }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t shard_of(NodeId node) const { return nodes_[node.v].shard; }

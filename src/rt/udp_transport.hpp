@@ -40,6 +40,7 @@ class UdpTransport final : public ThreadedTransport {
 
   void send(NodeId from, NodeId to, Payload data) override;
   void multicast(NodeId from, const std::vector<NodeId>& to, Payload data) override;
+  const char* backend_name() const override { return "udp"; }
 
   /// The UDP port a node is bound to (host byte order).
   std::uint16_t port_of(NodeId node) const { return ports_[node.v]; }

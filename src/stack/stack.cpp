@@ -117,7 +117,7 @@ void Stack::to_app(Message m) {
                    std::uint64_t{id.sender} |
                        (id.kind == MsgId::Kind::kView ? kDeliverViewFlag : 0));
   if (capture_ != nullptr) capture_->record_deliver(self(), id, m.data.view(), now());
-  if (on_deliver_) on_deliver_(id, m.data.view());
+  if (on_deliver_ && (id.seq & deliver_mask_) == 0) on_deliver_(id, m.data.view());
 }
 
 void Stack::to_app_batch(MessageBatch b) {

@@ -62,7 +62,14 @@ class Stack : public Services {
   /// control arm of the batched-vs-unbatched equivalence test.
   void set_batching(bool on) { batching_ = on; }
 
-  void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  /// Optional app-delivery hook. `sample_mask` gates it inline: the hook
+  /// fires only for seqs with (seq & sample_mask) == 0, so a sampling
+  /// consumer (rt latency stamping) costs unsampled deliveries one
+  /// compare instead of an indirect call. 0 (default) = every delivery.
+  void set_on_deliver(DeliverFn fn, std::uint64_t sample_mask = 0) {
+    on_deliver_ = std::move(fn);
+    deliver_mask_ = sample_mask;
+  }
 
   /// Messages this process has submitted.
   std::uint64_t sent() const { return next_seq_; }
@@ -109,6 +116,7 @@ class Stack : public Services {
   std::uint32_t n_app_deliver_ = 0;
   std::unique_ptr<LayerChain> chain_;
   DeliverFn on_deliver_;
+  std::uint64_t deliver_mask_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t delivered_ = 0;
   bool batching_ = true;

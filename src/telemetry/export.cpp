@@ -153,6 +153,49 @@ void write_chrome_trace(const TelemetryHub& hub, std::ostream& os) {
     emit(line.str());
   }
 
+  // Shard flight view: when the hub knows node -> shard pinning (runtime
+  // runs — RtGroup registers it), every event is mirrored into a "shard k"
+  // process (pid = kShardViewPidBase + shard, tid = node), so Perfetto
+  // shows one process group per EventLoop thread and shard imbalance reads
+  // directly off the wall-clock timeline. Protocol phases of different
+  // nodes on one shard can overlap in wall time (they are logical spans,
+  // not CPU spans), hence one tid per node inside the shard group rather
+  // than a single collapsed track.
+  const auto& shard_map = hub.node_shards();
+  constexpr std::int64_t kShardViewPidBase = 1'000'000;
+  if (!shard_map.empty()) {
+    std::vector<std::uint32_t> shard_ids;
+    for (const auto& [node, shard] : shard_map) shard_ids.push_back(shard);
+    std::sort(shard_ids.begin(), shard_ids.end());
+    shard_ids.erase(std::unique(shard_ids.begin(), shard_ids.end()), shard_ids.end());
+    for (const std::uint32_t shard : shard_ids) {
+      std::ostringstream line;
+      line << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+           << kShardViewPidBase + shard << ",\"tid\":0,\"args\":{\"name\":\"shard " << shard
+           << " (executor)\"}}";
+      emit(line.str());
+    }
+    for (const auto& [node, shard] : shard_map) {
+      std::ostringstream line;
+      line << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << kShardViewPidBase + shard
+           << ",\"tid\":" << node << ",\"args\":{\"name\":\"node " << node << "\"}}";
+      emit(line.str());
+    }
+  }
+  /// Emit an event line under the node's own process, plus the shard-view
+  /// mirror when the node is pinned. `prefix` ends just before "pid":,
+  /// `suffix` starts at its trailing comma.
+  const auto emit_dual = [&](const std::string& prefix, std::uint32_t node, int tid,
+                             const std::string& suffix) {
+    emit(prefix + "\"pid\":" + std::to_string(node) + ",\"tid\":" + std::to_string(tid) +
+         suffix);
+    const auto it = shard_map.find(node);
+    if (it != shard_map.end()) {
+      emit(prefix + "\"pid\":" + std::to_string(kShardViewPidBase + it->second) +
+           ",\"tid\":" + std::to_string(node) + suffix);
+    }
+  };
+
   // Pair begin/end per (node, track) with a stack; emission discipline is
   // strictly nested per track, so name mismatches mean ring truncation.
   struct Open {
@@ -161,15 +204,16 @@ void write_chrome_trace(const TelemetryHub& hub, std::ostream& os) {
   std::map<std::pair<std::uint32_t, std::uint8_t>, std::vector<Open>> stacks;
   const auto emit_span = [&](const TelemetryEvent& b, Time end_t, bool unterminated,
                              std::uint64_t end_arg) {
-    std::ostringstream line;
-    line << "{\"ph\":\"X\",\"name\":\"" << json_escape(hub.names().name(b.name))
-         << "\",\"cat\":\"" << track_str(b.track) << "\",\"pid\":" << b.node
-         << ",\"tid\":" << static_cast<int>(b.track) << ",\"ts\":" << b.t
-         << ",\"dur\":" << std::max<Time>(end_t - b.t, 0) << ",\"args\":{\"epoch\":" << b.epoch
-         << ",\"inc\":" << b.incarnation << ",\"arg\":" << b.arg << ",\"end_arg\":" << end_arg;
-    if (unterminated) line << ",\"unterminated\":true";
-    line << "}}";
-    emit(line.str());
+    std::ostringstream prefix;
+    prefix << "{\"ph\":\"X\",\"name\":\"" << json_escape(hub.names().name(b.name))
+           << "\",\"cat\":\"" << track_str(b.track) << "\",";
+    std::ostringstream suffix;
+    suffix << ",\"ts\":" << b.t << ",\"dur\":" << std::max<Time>(end_t - b.t, 0)
+           << ",\"args\":{\"epoch\":" << b.epoch << ",\"inc\":" << b.incarnation
+           << ",\"arg\":" << b.arg << ",\"end_arg\":" << end_arg;
+    if (unterminated) suffix << ",\"unterminated\":true";
+    suffix << "}}";
+    emit_dual(prefix.str(), b.node, static_cast<int>(b.track), suffix.str());
   };
 
   for (const MergedEvent& m : events) {
@@ -187,24 +231,26 @@ void write_chrome_trace(const TelemetryHub& hub, std::ostream& os) {
         } else {
           // Begin lost to ring wraparound (or to a crash that predates the
           // ring): render a zero-length marker so the End stays visible.
-          std::ostringstream line;
-          line << "{\"ph\":\"X\",\"name\":\"" << json_escape(hub.names().name(e.name))
-               << "\",\"cat\":\"" << track_str(e.track) << "\",\"pid\":" << e.node
-               << ",\"tid\":" << static_cast<int>(e.track) << ",\"ts\":" << e.t
-               << ",\"dur\":0,\"args\":{\"epoch\":" << e.epoch << ",\"inc\":" << e.incarnation
-               << ",\"arg\":" << e.arg << ",\"orphan\":true}}";
-          emit(line.str());
+          std::ostringstream prefix;
+          prefix << "{\"ph\":\"X\",\"name\":\"" << json_escape(hub.names().name(e.name))
+                 << "\",\"cat\":\"" << track_str(e.track) << "\",";
+          std::ostringstream suffix;
+          suffix << ",\"ts\":" << e.t << ",\"dur\":0,\"args\":{\"epoch\":" << e.epoch
+                 << ",\"inc\":" << e.incarnation << ",\"arg\":" << e.arg
+                 << ",\"orphan\":true}}";
+          emit_dual(prefix.str(), e.node, static_cast<int>(e.track), suffix.str());
         }
         break;
       }
       case EventKind::kInstant: {
-        std::ostringstream line;
-        line << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << json_escape(hub.names().name(e.name))
-             << "\",\"cat\":\"" << track_str(e.track) << "\",\"pid\":" << e.node
-             << ",\"tid\":" << static_cast<int>(e.track) << ",\"ts\":" << e.t
-             << ",\"args\":{\"epoch\":" << e.epoch << ",\"inc\":" << e.incarnation
-             << ",\"arg\":" << e.arg << "}}";
-        emit(line.str());
+        std::ostringstream prefix;
+        prefix << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+               << json_escape(hub.names().name(e.name)) << "\",\"cat\":\""
+               << track_str(e.track) << "\",";
+        std::ostringstream suffix;
+        suffix << ",\"ts\":" << e.t << ",\"args\":{\"epoch\":" << e.epoch
+               << ",\"inc\":" << e.incarnation << ",\"arg\":" << e.arg << "}}";
+        emit_dual(prefix.str(), e.node, static_cast<int>(e.track), suffix.str());
         break;
       }
     }

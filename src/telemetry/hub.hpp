@@ -71,6 +71,13 @@ class TelemetryHub {
   NameTable& names() { return names_; }
   const NameTable& names() const { return names_; }
 
+  /// Executor shard a node is pinned to in runtime (wall-domain) runs.
+  /// RtGroup fills this during wiring; the Chrome exporter uses it to lay
+  /// rt spans out on one track group per EventLoop thread (the per-shard
+  /// flight view). Empty for pure sim runs.
+  void set_node_shard(std::uint32_t node, std::uint32_t shard) { node_shards_[node] = shard; }
+  const std::map<std::uint32_t, std::uint32_t>& node_shards() const { return node_shards_; }
+
   /// Node ids with any telemetry state, ascending.
   std::vector<std::uint32_t> nodes() const;
   const Tracer* find_tracer(std::uint32_t node) const;
@@ -88,6 +95,7 @@ class TelemetryHub {
   MetricsRegistry global_;
   std::map<std::uint32_t, std::unique_ptr<Tracer>> tracers_;
   std::map<std::uint32_t, std::unique_ptr<MetricsRegistry>> node_metrics_;
+  std::map<std::uint32_t, std::uint32_t> node_shards_;
   const TelemetryClock* clock_ = nullptr;
   ClockDomain clock_domain_ = ClockDomain::kSim;
   const Network* net_ = nullptr;

@@ -5,37 +5,62 @@
 
 namespace msw {
 
+std::size_t MetricsRegistry::Histogram::bucket_of(std::uint64_t v) {
+  // Octave index: 0 for the exact range [0,8), else bit_width beyond the
+  // low kSubBits bits. Max input maps to bucket 495, so no clamp is needed.
+  const auto e = static_cast<std::size_t>(std::bit_width(v >> kSubBits));
+  const auto shift = e - static_cast<std::size_t>(e != 0);
+  return (e << kSubBits) + static_cast<std::size_t>((v >> shift) & 7);
+}
+
+std::uint64_t MetricsRegistry::Histogram::bucket_lo(std::size_t b) {
+  const std::size_t e = b >> kSubBits;
+  const std::uint64_t s = b & 7;
+  return e == 0 ? s : (std::uint64_t{8} + s) << (e - 1);
+}
+
+std::uint64_t MetricsRegistry::Histogram::bucket_width(std::size_t b) {
+  const std::size_t e = b >> kSubBits;
+  return e == 0 ? 1 : std::uint64_t{1} << (e - 1);
+}
+
 void MetricsRegistry::Histogram::record(std::uint64_t v) {
-  const auto bucket = static_cast<std::size_t>(std::bit_width(v));  // 0 -> 0, else 1+log2
-  buckets_[std::min(bucket, kBuckets - 1)] += 1;
+  buckets_[bucket_of(v)] += 1;
   ++count_;
   sum_ += v;
   if (v < min_) min_ = v;
   if (v > max_) max_ = v;
 }
 
-double MetricsRegistry::Histogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
+double MetricsRegistry::Histogram::percentile_from(const std::uint64_t* buckets,
+                                                   std::uint64_t count, std::uint64_t min,
+                                                   std::uint64_t max, double p) {
+  if (count == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(count_ - 1);
+  const double target = p / 100.0 * static_cast<double>(count - 1);
   std::uint64_t below = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
+    if (buckets[b] == 0) continue;
     const double first = static_cast<double>(below);
-    const double last = static_cast<double>(below + buckets_[b] - 1);
+    const double last = static_cast<double>(below + buckets[b] - 1);
     if (target <= last) {
-      // Interpolate within [lo, hi), the value range this bucket covers,
-      // clamped to the observed extremes.
-      const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
-      const double hi = b == 0 ? 1.0 : lo * 2.0;
+      // Interpolate within [lo, lo+width), the value range this sub-bucket
+      // covers, clamped to the observed extremes. Doubles, because the top
+      // bucket's upper edge (2^64) overflows std::uint64_t.
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double width = static_cast<double>(bucket_width(b));
       const double frac =
-          buckets_[b] == 1 ? 0.0 : (target - first) / static_cast<double>(buckets_[b] - 1);
-      const double v = lo + frac * (hi - lo);
-      return std::clamp(v, static_cast<double>(min()), static_cast<double>(max_));
+          buckets[b] == 1 ? 0.0 : (target - first) / static_cast<double>(buckets[b] - 1);
+      const double v = lo + frac * width;
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
     }
-    below += buckets_[b];
+    below += buckets[b];
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max);
+}
+
+double MetricsRegistry::Histogram::percentile(double p) const {
+  return percentile_from(buckets_, count_, min(), max_, p);
 }
 
 std::string MetricsRegistry::unique_name(std::string_view name) {

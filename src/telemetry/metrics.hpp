@@ -52,13 +52,17 @@ class MetricsRegistry {
     std::int64_t max_ = 0;
   };
 
-  /// Fixed-footprint log2-bucketed histogram of unsigned samples
-  /// (durations in microseconds, sizes in bytes). record() is branch-free
-  /// bucket arithmetic; percentiles are estimated by interpolating within
-  /// the containing bucket.
+  /// Fixed-footprint log-linear histogram of unsigned samples (durations in
+  /// microseconds, sizes in bytes): values 0..7 get exact unit buckets;
+  /// larger values land in a log2 major bucket split into 8 linear
+  /// sub-buckets, so a sub-bucket spans 1/8 of its octave and quantile
+  /// estimates carry at most 12.5% relative error — good enough for
+  /// p50/p99/p999. record() is branch-free bucket arithmetic; percentiles
+  /// are estimated by interpolating within the containing sub-bucket.
   class Histogram {
    public:
-    static constexpr std::size_t kBuckets = 64;
+    static constexpr std::size_t kSubBits = 3;  // 8 linear sub-buckets per octave
+    static constexpr std::size_t kBuckets = 496;
 
     void record(std::uint64_t v);
     std::uint64_t count() const { return count_; }
@@ -70,7 +74,17 @@ class MetricsRegistry {
     double percentile(double p) const;
     double p50() const { return percentile(50.0); }
     double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
     const std::uint64_t* buckets() const { return buckets_; }
+
+    /// Bucket `b` covers values [bucket_lo(b), bucket_lo(b) + bucket_width(b)).
+    static std::size_t bucket_of(std::uint64_t v);
+    static std::uint64_t bucket_lo(std::size_t b);
+    static std::uint64_t bucket_width(std::size_t b);
+    /// Percentile estimate over a raw bucket array in buckets() layout, so
+    /// snapshot readers can reconstruct quantiles without a live Histogram.
+    static double percentile_from(const std::uint64_t* buckets, std::uint64_t count,
+                                  std::uint64_t min, std::uint64_t max, double p);
 
    private:
     std::uint64_t buckets_[kBuckets] = {};

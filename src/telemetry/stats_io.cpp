@@ -1,0 +1,148 @@
+#include "telemetry/stats_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace msw {
+namespace {
+
+/// Fixed-precision double formatting so stats lines are byte-stable across
+/// runs and platforms (ostream's default %g is locale/width dependent).
+void append_fixed(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const StatsSnapshot::Scalar* StatsSnapshot::find_scalar(std::string_view name) const {
+  for (const Scalar& s : scalars) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const StatsSnapshot::Hist* StatsSnapshot::find_hist(std::string_view name) const {
+  for (const Hist& h : hists) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+StatsSnapshot::Hist summarize_hist_buckets(std::string name, const std::uint64_t* buckets,
+                                           std::uint64_t count, std::uint64_t sum,
+                                           std::uint64_t min, std::uint64_t max) {
+  StatsSnapshot::Hist h;
+  h.name = std::move(name);
+  h.count = count;
+  h.min = count == 0 ? 0 : min;
+  h.max = max;
+  h.mean = count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  using Histo = MetricsRegistry::Histogram;
+  h.p50 = Histo::percentile_from(buckets, count, h.min, max, 50.0);
+  h.p99 = Histo::percentile_from(buckets, count, h.min, max, 99.0);
+  h.p999 = Histo::percentile_from(buckets, count, h.min, max, 99.9);
+  h.buckets.assign(buckets, buckets + Histo::kBuckets);
+  return h;
+}
+
+StatsSnapshot::Hist merge_hists(const std::vector<StatsSnapshot>& snaps,
+                                std::string_view prefix) {
+  using Histo = MetricsRegistry::Histogram;
+  std::vector<std::uint64_t> buckets(Histo::kBuckets, 0);
+  std::uint64_t count = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  for (const StatsSnapshot& s : snaps) {
+    for (const StatsSnapshot::Hist& h : s.hists) {
+      if (h.name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (h.count == 0 || h.buckets.size() != Histo::kBuckets) continue;
+      for (std::size_t i = 0; i < Histo::kBuckets; ++i) buckets[i] += h.buckets[i];
+      count += h.count;
+      min = std::min(min, h.min);
+      max = std::max(max, h.max);
+    }
+  }
+  return summarize_hist_buckets(std::string(prefix) + "*", buckets.data(), count, 0,
+                                count == 0 ? 0 : min, max);
+}
+
+StatsSnapshot snapshot_from_registry(std::string source, std::uint64_t t_us,
+                                     const MetricsRegistry& reg) {
+  StatsSnapshot snap;
+  snap.source = std::move(source);
+  snap.t_us = t_us;
+  for (const auto& entry : reg.entries()) {
+    if (const auto* h = reg.histogram_of(entry)) {
+      snap.hists.push_back(summarize_hist_buckets(entry.name, h->buckets(), h->count(),
+                                                  h->sum(), h->min(), h->max()));
+    } else if (const auto* g = reg.gauge_of(entry)) {
+      snap.scalars.push_back({entry.name, static_cast<std::uint64_t>(g->value())});
+      snap.scalars.push_back({entry.name + ".max", static_cast<std::uint64_t>(g->max())});
+    } else {
+      snap.scalars.push_back({entry.name, static_cast<std::uint64_t>(reg.value_of(entry))});
+    }
+  }
+  return snap;
+}
+
+void write_stats_line(std::ostream& os, const StatsSnapshot& snap) {
+  std::string line;
+  line.reserve(256);
+  line += "{\"t_us\":";
+  line += std::to_string(snap.t_us);
+  line += ",\"src\":\"";
+  append_escaped(line, snap.source);
+  line += "\",\"metrics\":{";
+  bool first = true;
+  for (const StatsSnapshot::Scalar& s : snap.scalars) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"";
+    append_escaped(line, s.name);
+    line += "\":";
+    line += std::to_string(s.value);
+  }
+  line += "},\"hist\":{";
+  first = true;
+  for (const StatsSnapshot::Hist& h : snap.hists) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"";
+    append_escaped(line, h.name);
+    line += "\":{\"count\":";
+    line += std::to_string(h.count);
+    line += ",\"min\":";
+    line += std::to_string(h.min);
+    line += ",\"max\":";
+    line += std::to_string(h.max);
+    line += ",\"mean\":";
+    append_fixed(line, h.mean);
+    line += ",\"p50\":";
+    append_fixed(line, h.p50);
+    line += ",\"p99\":";
+    append_fixed(line, h.p99);
+    line += ",\"p999\":";
+    append_fixed(line, h.p999);
+    line += "}";
+  }
+  line += "}}\n";
+  os << line;
+}
+
+}  // namespace msw

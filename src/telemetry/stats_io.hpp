@@ -1,0 +1,78 @@
+// Periodic stats snapshots and their byte-stable JSONL serialization.
+//
+// A StatsSnapshot is one flattened observation of a MetricsRegistry at a
+// point in time: scalar values (counters, externals, gauges + their
+// high-water marks) plus full histogram summaries. The rt stats plane
+// decodes snapshots out of seqlock buffers (rt/stats/), the soak harness
+// builds them straight from its aggregate registry, and both serialize
+// through write_stats_line so `--stats-out` time-series files share one
+// format regardless of domain.
+//
+// Serialization rules mirror the PR-3 exporters: keys appear in registry
+// registration order (deterministic per build), and doubles are printed
+// with fixed 3-decimal precision, so two identical runs produce
+// byte-identical lines (the golden-line test pins this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace msw {
+
+struct StatsSnapshot {
+  struct Scalar {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    /// Raw bucket array (Histogram::kBuckets entries) when the producer kept
+    /// it — lets readers merge histograms across shards. Not serialized.
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::string source;      // "shard0", "transport", "soak", ...
+  std::uint64_t t_us = 0;  // timestamp in the producer's clock domain (µs)
+  std::vector<Scalar> scalars;
+  std::vector<Hist> hists;
+
+  const Scalar* find_scalar(std::string_view name) const;
+  const Hist* find_hist(std::string_view name) const;
+};
+
+/// Flatten a registry into a snapshot: counters/externals and gauges (each
+/// gauge also contributes "<name>.max") become scalars, histograms become
+/// summaries with raw buckets retained.
+StatsSnapshot snapshot_from_registry(std::string source, std::uint64_t t_us,
+                                     const MetricsRegistry& reg);
+
+/// One JSONL object:
+///   {"t_us":N,"src":"...","metrics":{...},"hist":{"name":{...}}}
+/// Byte-stable for identical snapshots; trailing newline included.
+void write_stats_line(std::ostream& os, const StatsSnapshot& snap);
+
+/// Summarize raw buckets (plus count/min/max) into a Hist — shared by the
+/// seqlock decoder and cross-shard merges.
+StatsSnapshot::Hist summarize_hist_buckets(std::string name, const std::uint64_t* buckets,
+                                           std::uint64_t count, std::uint64_t sum,
+                                           std::uint64_t min, std::uint64_t max);
+
+/// Merge every histogram whose name starts with `prefix` across snapshots by
+/// summing raw bucket arrays, then re-estimate the quantiles — how per-shard
+/// latency histograms combine into one system-wide view. The merged sum (and
+/// so mean) is not reconstructed; quantiles, count, min, max are.
+StatsSnapshot::Hist merge_hists(const std::vector<StatsSnapshot>& snaps,
+                                std::string_view prefix);
+
+}  // namespace msw

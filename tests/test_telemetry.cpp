@@ -75,6 +75,56 @@ TEST(MetricsRegistry, CounterGaugeHistogram) {
   EXPECT_EQ(reg.entries()[2].name, "h");
 }
 
+TEST(Histogram, SmallValuesAreExact) {
+  // The first octave (values 0..7) has unit-width buckets, so every small
+  // value round-trips exactly and the percentiles are sharp.
+  MetricsRegistry reg;
+  auto& h = reg.histogram("h");
+  for (std::uint64_t v = 0; v <= 7; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_LE(h.p50(), 4.0);
+  EXPECT_GE(h.p50(), 3.0);
+  EXPECT_LE(h.p99(), 7.0);
+}
+
+TEST(Histogram, LogLinearPercentilesHaveBoundedRelativeError) {
+  // Log2 octaves with 8 linear sub-buckets: bucket width is at most 1/8 of
+  // the bucket's lower edge, so any quantile estimate is within 12.5% of
+  // the true value. Pin p50/p99/p999 on a uniform distribution, where the
+  // true quantiles are known in closed form.
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat");
+  constexpr std::uint64_t kMax = 100'000;
+  for (std::uint64_t v = 1; v <= kMax; ++v) h.record(v);
+
+  const auto check = [&](double p, double truth) {
+    const double est = h.percentile(p);
+    EXPECT_NEAR(est, truth, 0.13 * truth) << "p" << p;
+  };
+  check(50.0, 50'000.0);
+  check(99.0, 99'000.0);
+  check(99.9, 99'900.0);
+
+  // Monotone, and bounded by the observed extremes.
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), static_cast<double>(h.max()));
+  EXPECT_GE(h.p50(), static_cast<double>(h.min()));
+}
+
+TEST(Histogram, PercentilesClampToObservedRange) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("one");
+  h.record(1000);
+  // A single sample: every percentile is that sample, not a bucket edge.
+  EXPECT_EQ(h.p50(), 1000.0);
+  EXPECT_EQ(h.p99(), 1000.0);
+  EXPECT_EQ(h.p999(), 1000.0);
+  EXPECT_EQ(reg.histogram("empty").percentile(50.0), 0.0);
+}
+
 TEST(MetricsRegistry, ExternalViewsDedupWithStableSuffix) {
   MetricsRegistry reg;
   std::uint64_t a = 11, b = 22;
