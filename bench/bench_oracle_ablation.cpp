@@ -1,38 +1,100 @@
-// E5 — section 7: oracle aggressiveness and oscillation.
+// E5 — section 7: oracle ablation, oscillation, and the adaptive policy.
 //
 // The paper: "If switching too aggressively, the resulting protocol starts
 // oscillating. If we make our protocol less aggressive (by adding a
 // hysteresis), we ran into an unexpected hitch [switch cost depends on the
 // latency of the protocol being switched away from]."
 //
-// Workload: the active-sender count flip-flops around the cross-over
-// (between 4 and 6 senders every 400 ms) for 20 s. Compared oracles:
+// Arms compared:
 //   - static sequencer / static token (no switching),
-//   - aggressive single threshold at 5,
-//   - hysteresis (switch up at >=6, down at <=3, >=1 s dwell).
-// Reported: completed switches (oscillation count) and mean latency.
+//   - aggressive single threshold at 5 (the oscillation failure mode),
+//   - hysteresis (up at >=6, down at <=3, 1 s dwell): the paper's fix,
+//     hand-tuned for exactly this workload family,
+//   - adaptive: the PolicyOracle — telemetry-scored protocol ranking with
+//     auto-tuned dwell, no workload-specific knobs.
+//
+// Workloads:
+//   - steady k in {2, 4, 6, 8} active senders at 50 msg/s (the Figure 2
+//     sweep; cross-over sits at 5..6),
+//   - flip-flop: 4 <-> 6 senders every 2 s for 20 s,
+//   - flip-flop+faults: same load under 5% loss, jitter bursts,
+//     dup/reorder, and a crash/restart — the oscillation-bait arm.
+//
+// `--json F` writes every row plus the pass/fail checks as BENCH JSON for
+// CI (exit code 1 when a check fails): the adaptive arm must match the
+// hand-tuned hysteresis on mean delivery latency (within 10%) on every
+// workload they share, and must hold its switch count under the
+// no-oscillation ceiling on the injected-fault arm.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "calibration.hpp"
+#include "net/fault.hpp"
 #include "stack/group.hpp"
 #include "switch/hybrid.hpp"
 
 namespace msw::bench {
 namespace {
 
-struct AblationRow {
+struct WorkloadSpec {
   const char* name;
+  /// 0 = flip-flop 4 <-> 6; otherwise the steady sender count.
+  std::size_t steady_senders = 0;
+  bool faults = false;
+  Time end_sends = 20 * kSecond;
+  Time measure_from = 4 * kSecond;
+};
+
+struct AblationRow {
+  const char* workload;
+  const char* oracle;
   std::uint64_t switches;
   double mean_ms;
   double p99_ms;
   std::uint64_t missing;
 };
 
-AblationRow run_oracle(const char* name, OracleFactory oracle, int fixed_protocol = -1) {
+/// The oscillation-bait schedule: jitter bursts through both flip-flop
+/// phases, continuous dup/reorder, and a crash/restart of a non-sequencer
+/// member mid-run.
+FaultSchedule fault_schedule() {
+  FaultSchedule s;
+  s.dup_prob = 0.02;
+  s.reorder_prob = 0.05;
+  const auto burst = [&s](Time at) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kJitterBurst;
+    e.at = at;
+    e.duration = 1 * kSecond;
+    e.magnitude = 5 * kMillisecond;
+    s.events.push_back(e);
+  };
+  burst(3 * kSecond);
+  burst(9 * kSecond);
+  burst(15 * kSecond);
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.at = 8 * kSecond;
+  crash.a = 7;
+  s.events.push_back(crash);
+  FaultEvent restart = crash;
+  restart.kind = FaultEvent::Kind::kRestart;
+  restart.at = 8500 * kMillisecond;
+  s.events.push_back(restart);
+  return s;
+}
+
+AblationRow run_arm(const WorkloadSpec& w, const char* name, OracleFactory oracle,
+                    int fixed_protocol = -1) {
   Simulation sim(kSeed);
-  Network net(sim.scheduler(), sim.fork_rng(), era_network());
+  NetConfig net_cfg = era_network();
+  if (w.faults) net_cfg.loss = 0.05;
+  Network net(sim.scheduler(), sim.fork_rng(), net_cfg);
 
   LayerFactory factory;
   if (fixed_protocol == 0) {
@@ -48,20 +110,22 @@ AblationRow run_oracle(const char* name, OracleFactory oracle, int fixed_protoco
     factory = make_hybrid_total_order_factory(cfg);
   }
   Group group(sim, net, kGroupSize, factory);
+
+  FaultPlane plane(net, sim.fork_rng(), w.faults ? fault_schedule() : FaultSchedule{});
+  if (w.faults) plane.install();
   group.start();
 
-  // Fluctuating load: phases of 2 s alternating between 4 and 6 active
-  // senders, 50 msg/s each (Poisson), 20 s total — the load keeps crossing
-  // the protocols' cross-over point.
+  // Poisson sends at 50 msg/s per active sender. Flip-flop alternates the
+  // active set between 4 and 6 every 2 s; steady keeps it fixed.
   Rng rng = sim.fork_rng();
   const Duration phase_len = 2 * kSecond;
-  const Time end_sends = 20 * kSecond;
   const auto interval = static_cast<Duration>(1e6 / 50.0);
-  for (std::size_t s = 0; s < 6; ++s) {
+  const std::size_t max_senders = w.steady_senders ? w.steady_senders : 6;
+  for (std::size_t s = 0; s < max_senders; ++s) {
     Time t = static_cast<Duration>(rng.below(static_cast<std::uint64_t>(interval)));
-    while (t < end_sends) {
-      const bool high_phase = (t / phase_len) % 2 == 1;
-      const std::size_t active = high_phase ? 6 : 4;
+    while (t < w.end_sends) {
+      std::size_t active = w.steady_senders;
+      if (active == 0) active = (t / phase_len) % 2 == 1 ? 6 : 4;
       if (s < active) {
         sim.scheduler().at(t, [&group, s] { group.send(s, Bytes(64, 'o')); });
       }
@@ -69,59 +133,176 @@ AblationRow run_oracle(const char* name, OracleFactory oracle, int fixed_protoco
                                      rng.exponential(static_cast<double>(interval))));
     }
   }
-  sim.run_until(end_sends + 10 * kSecond);
+  sim.run_until(w.end_sends + 10 * kSecond);
 
   AblationRow row{};
-  row.name = name;
+  row.workload = w.name;
+  row.oracle = name;
   if (fixed_protocol < 0) {
     for (std::size_t i = 0; i < group.size(); ++i) {
       row.switches = std::max(row.switches,
                               switch_layer_of(group.stack(i)).stats().switches_completed);
     }
   }
-  const auto tl = trace_latency(group.trace(), 1 * kSecond, end_sends, group.size());
+  const auto tl = trace_latency(group.trace(), w.measure_from, w.end_sends, group.size());
   row.mean_ms = tl.latency_ms.mean();
   row.p99_ms = tl.latency_ms.percentile(99);
   row.missing = tl.missing_deliveries;
   return row;
 }
 
-int run() {
-  title("Section 7 — oracle ablation: oscillation vs. hysteresis");
-  note("load flip-flops 4 <-> 6 active senders every 2 s for 20 s (cross-over sits at 5..6)");
-  std::printf("\n%-26s %10s %12s %12s %10s\n", "oracle", "switches", "mean(ms)", "p99(ms)",
-              "missing");
-  rule(76);
+OracleFactory threshold_oracle() {
+  return [](NodeId) { return std::make_unique<ThresholdOracle>(5); };
+}
+OracleFactory hysteresis_oracle() {
+  return [](NodeId) { return std::make_unique<HysteresisOracle>(3, 6, 1 * kSecond); };
+}
+OracleFactory adaptive_oracle() { return make_policy_oracle_factory(); }
 
-  const auto rows = {
-      run_oracle("static sequencer", {}, 0),
-      run_oracle("static token", {}, 1),
-      run_oracle("aggressive threshold(5)",
-                 [](NodeId) { return std::make_unique<ThresholdOracle>(5); }),
-      run_oracle("hysteresis(3,6,1s)",
-                 [](NodeId) {
-                   return std::make_unique<HysteresisOracle>(3, 6, 1 * kSecond);
-                 }),
-  };
-  std::uint64_t aggressive_switches = 0, hysteresis_switches = 0;
-  for (const auto& r : rows) {
-    std::printf("%-26s %10llu %12.2f %12.2f %10llu\n", r.name,
+struct Checks {
+  double latency_ratio_ceiling = 1.10;
+  std::uint64_t switch_ceiling_faults = 6;
+  double worst_latency_ratio = 0.0;
+  const char* worst_latency_workload = "-";
+  std::uint64_t adaptive_fault_switches = 0;
+  std::uint64_t threshold_fault_switches = 0;
+  bool pass = true;
+};
+
+Checks evaluate(const std::vector<AblationRow>& rows) {
+  Checks c;
+  for (const AblationRow& a : rows) {
+    if (std::strcmp(a.oracle, "adaptive") != 0) continue;
+    if (std::strcmp(a.workload, "flip-flop+faults") == 0) {
+      c.adaptive_fault_switches = a.switches;
+      if (a.switches > c.switch_ceiling_faults) c.pass = false;
+    }
+    for (const AblationRow& h : rows) {
+      if (std::strcmp(h.oracle, "hysteresis(3,6,1s)") != 0 ||
+          std::strcmp(h.workload, a.workload) != 0) {
+        continue;
+      }
+      const double ratio = h.mean_ms > 0 ? a.mean_ms / h.mean_ms : 1.0;
+      if (ratio > c.worst_latency_ratio) {
+        c.worst_latency_ratio = ratio;
+        c.worst_latency_workload = a.workload;
+      }
+      if (ratio > c.latency_ratio_ceiling) c.pass = false;
+    }
+  }
+  for (const AblationRow& r : rows) {
+    if (std::strcmp(r.oracle, "threshold(5)") == 0 &&
+        std::strcmp(r.workload, "flip-flop+faults") == 0) {
+      c.threshold_fault_switches = r.switches;
+    }
+  }
+  return c;
+}
+
+void write_json(const std::string& path, const std::vector<AblationRow>& rows,
+                const Checks& c) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": \"oracle_ablation\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AblationRow& r = rows[i];
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"workload\": \"%s\", \"oracle\": \"%s\", \"switches\": %llu, "
+                  "\"mean_ms\": %.3f, \"p99_ms\": %.3f, \"missing\": %llu}%s\n",
+                  r.workload, r.oracle, static_cast<unsigned long long>(r.switches),
+                  r.mean_ms, r.p99_ms, static_cast<unsigned long long>(r.missing),
+                  i + 1 < rows.size() ? "," : "");
+    os << buf;
+  }
+  char buf[448];
+  std::snprintf(buf, sizeof buf,
+                "  ],\n  \"checks\": {\n"
+                "    \"latency_ratio_ceiling\": %.2f,\n"
+                "    \"worst_latency_ratio\": %.4f,\n"
+                "    \"worst_latency_workload\": \"%s\",\n"
+                "    \"switch_ceiling_faults\": %llu,\n"
+                "    \"adaptive_fault_switches\": %llu,\n"
+                "    \"threshold_fault_switches\": %llu,\n"
+                "    \"pass\": %s\n  }\n}\n",
+                c.latency_ratio_ceiling, c.worst_latency_ratio, c.worst_latency_workload,
+                static_cast<unsigned long long>(c.switch_ceiling_faults),
+                static_cast<unsigned long long>(c.adaptive_fault_switches),
+                static_cast<unsigned long long>(c.threshold_fault_switches),
+                c.pass ? "true" : "false");
+  os << buf;
+  std::fprintf(stderr, "bench json written to %s\n", path.c_str());
+}
+
+int run(const std::string& json_out) {
+  title("Section 7 — oracle ablation: static vs threshold vs hysteresis vs adaptive");
+  note("steady sweep k in {2,4,6,8} senders x 50 msg/s; flip-flop 4 <-> 6 every 2 s;");
+  note("fault arm adds 5% loss, jitter bursts, dup/reorder, and a crash/restart");
+  std::printf("\n%-18s %-22s %10s %12s %12s %10s\n", "workload", "oracle", "switches",
+              "mean(ms)", "p99(ms)", "missing");
+  rule(90);
+
+  std::vector<AblationRow> rows;
+  const auto add = [&rows](AblationRow r) {
+    std::printf("%-18s %-22s %10llu %12.2f %12.2f %10llu\n", r.workload, r.oracle,
                 static_cast<unsigned long long>(r.switches), r.mean_ms, r.p99_ms,
                 static_cast<unsigned long long>(r.missing));
-    if (std::string(r.name).rfind("aggressive", 0) == 0) aggressive_switches = r.switches;
-    if (std::string(r.name).rfind("hysteresis", 0) == 0) hysteresis_switches = r.switches;
+    rows.push_back(r);
+  };
+
+  for (const std::size_t k : {2, 4, 6, 8}) {
+    WorkloadSpec w;
+    static char names[4][16];
+    std::snprintf(names[k / 2 - 1], sizeof names[0], "steady-%zu", k);
+    w.name = names[k / 2 - 1];
+    w.steady_senders = k;
+    add(run_arm(w, "static sequencer", {}, 0));
+    add(run_arm(w, "static token", {}, 1));
+    add(run_arm(w, "hysteresis(3,6,1s)", hysteresis_oracle()));
+    add(run_arm(w, "adaptive", adaptive_oracle()));
   }
-  rule(76);
+  {
+    WorkloadSpec w;
+    w.name = "flip-flop";
+    add(run_arm(w, "static sequencer", {}, 0));
+    add(run_arm(w, "static token", {}, 1));
+    add(run_arm(w, "threshold(5)", threshold_oracle()));
+    add(run_arm(w, "hysteresis(3,6,1s)", hysteresis_oracle()));
+    add(run_arm(w, "adaptive", adaptive_oracle()));
+  }
+  {
+    WorkloadSpec w;
+    w.name = "flip-flop+faults";
+    w.faults = true;
+    add(run_arm(w, "threshold(5)", threshold_oracle()));
+    add(run_arm(w, "hysteresis(3,6,1s)", hysteresis_oracle()));
+    add(run_arm(w, "adaptive", adaptive_oracle()));
+  }
+  rule(90);
+
+  const Checks c = evaluate(rows);
   std::printf(
-      "oscillation check: aggressive oracle switched %llu times vs %llu with\n"
-      "hysteresis (paper: 'if switching too aggressively, the resulting protocol\n"
-      "starts oscillating').\n",
-      static_cast<unsigned long long>(aggressive_switches),
-      static_cast<unsigned long long>(hysteresis_switches));
-  return 0;
+      "adaptive vs hand-tuned hysteresis: worst mean-latency ratio %.3f (ceiling %.2f,\n"
+      "on %s); fault-arm switches: adaptive %llu (ceiling %llu) vs threshold %llu.\n"
+      "checks: %s\n",
+      c.worst_latency_ratio, c.latency_ratio_ceiling, c.worst_latency_workload,
+      static_cast<unsigned long long>(c.adaptive_fault_switches),
+      static_cast<unsigned long long>(c.switch_ceiling_faults),
+      static_cast<unsigned long long>(c.threshold_fault_switches), c.pass ? "PASS" : "FAIL");
+  if (!json_out.empty()) write_json(json_out, rows, c);
+  return c.pass ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace msw::bench
 
-int main() { return msw::bench::run(); }
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_out = argv[++i];
+  }
+  return msw::bench::run(json_out);
+}

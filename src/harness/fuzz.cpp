@@ -38,6 +38,7 @@ struct IterationPlan {
   bool inject_flush_bug = false;
   bool inject_selfnack_bug = false;
   bool reliable_base = false;
+  bool adaptive_oracle = false;
   bool capture_telemetry = false;
   bool attach_monitors = false;
   std::size_t telemetry_ring = 4096;
@@ -82,6 +83,7 @@ IterationPlan make_plan(std::uint64_t seed, const FuzzConfig& cfg) {
   plan.inject_flush_bug = cfg.inject_flush_bug;
   plan.inject_selfnack_bug = cfg.inject_selfnack_bug;
   plan.reliable_base = cfg.reliable_base;
+  plan.adaptive_oracle = cfg.adaptive_oracle;
   plan.capture_telemetry = cfg.capture_telemetry;
   plan.attach_monitors = cfg.attach_monitors;
   plan.telemetry_ring = cfg.telemetry_ring;
@@ -97,6 +99,7 @@ struct RunObservation {
   std::vector<std::size_t> buffered;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t switches = 0;
   // Streaming-monitor verdict (attach_monitors only).
   bool monitor_ok = true;
   std::string monitor_reason;
@@ -121,6 +124,17 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   hybrid.sp.initial_epoch = plan.initial_epoch;
   if (plan.inject_flush_bug) hybrid.sp.fault_skip_count_sender = 0;
   if (plan.inject_selfnack_bug) hybrid.sequencer.fault_skip_self_refill = true;
+  if (plan.adaptive_oracle) {
+    // Short iterations need a fast policy: sample quickly, aggregate over a
+    // short window, and let the auto-dwell start (and floor) low enough
+    // that the engine can actually decide within the activity window.
+    PolicyConfig pcfg;
+    pcfg.signals.sample_every = 50 * kMillisecond;
+    pcfg.window = 500 * kMillisecond;
+    pcfg.dwell.initial = 300 * kMillisecond;
+    pcfg.dwell.floor = 200 * kMillisecond;
+    hybrid.oracle = make_policy_oracle_factory(pcfg);
+  }
   LayerFactory factory = make_hybrid_total_order_factory(hybrid);
   if (plan.reliable_base) {
     // Slot a ReliableLayer under the switching stack. Sequencer/token do
@@ -201,6 +215,10 @@ RunObservation execute(std::uint64_t seed, const IterationPlan& plan) {
   }
   obs.sent = group.total_sent();
   obs.delivered = group.total_delivered();
+  for (std::size_t i = 0; i < plan.members; ++i) {
+    obs.switches =
+        std::max(obs.switches, switch_layer_of(group.stack(i)).stats().switches_completed);
+  }
   if (monitors) {
     monitors->finalize(sim.now());
     obs.monitor_ok = monitors->ok();
@@ -341,6 +359,7 @@ std::string make_repro(std::uint64_t seed, const FuzzConfig& cfg, const FaultSch
   if (cfg.inject_flush_bug) os << " --inject-flush-bug";
   if (cfg.inject_selfnack_bug) os << " --inject-selfnack-bug";
   if (cfg.reliable_base) os << " --reliable-base";
+  if (cfg.adaptive_oracle) os << " --adaptive-oracle";
   // Member bounds feed the seed-derived plan, so non-default values are
   // part of the reproducer.
   const FuzzConfig defaults;
@@ -418,6 +437,7 @@ FuzzIteration run_fuzz_iteration(std::uint64_t seed, const FuzzConfig& cfg,
   it.digest = trace_digest(obs.trace);
   it.sent = obs.sent;
   it.delivered = obs.delivered;
+  it.switches = obs.switches;
   it.reason = check_oracle(plan, obs);
   it.ok = it.reason.empty();
   it.monitor_ok = obs.monitor_ok;

@@ -58,6 +58,11 @@ struct FuzzConfig {
   /// refills its own delivery gaps from local history, re-introducing the
   /// historical crashed-sequencer reliability bug.
   bool inject_selfnack_bug = false;
+  /// Drive the hybrid with the adaptive PolicyOracle instead of the manual
+  /// one: switches then come from the policy engine reacting to the
+  /// iteration's randomized load/loss/churn (scripted switch requests still
+  /// fire on top). The oracle-under-churn campaign.
+  bool adaptive_oracle = false;
 };
 
 struct FuzzIteration {
@@ -71,6 +76,10 @@ struct FuzzIteration {
   std::size_t members = 0;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  /// Local switchovers completed, maxed over members (every member switches
+  /// on every epoch change, so this is the epoch distance travelled) — the
+  /// oscillation signal for adaptive-oracle campaigns.
+  std::uint64_t switches = 0;
   FaultSchedule schedule;
   /// Streaming-monitor verdict (meaningful only with cfg.attach_monitors):
   /// the monitors consume the same run as a telemetry stream and judge it

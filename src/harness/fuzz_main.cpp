@@ -35,6 +35,9 @@ namespace {
                "  --inject-selfnack-bug  enable the deliberate sequencer self-refill bug\n"
                "                      (reliability hole after a sequencer crash); exit code\n"
                "                      flips like --inject-flush-bug\n"
+               "  --adaptive-oracle   drive the hybrid with the telemetry-driven PolicyOracle\n"
+               "                      (switches come from the policy engine under the\n"
+               "                      iteration's randomized load, loss, and churn)\n"
                "  --monitors          attach the streaming property monitors alongside the\n"
                "                      buffered oracle; exit 1 if their verdicts ever disagree\n"
                "  --time-budget S     stop early after S wall seconds (breaks digest\n"
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       cfg.inject_flush_bug = true;
     } else if (arg == "--inject-selfnack-bug") {
       cfg.inject_selfnack_bug = true;
+    } else if (arg == "--adaptive-oracle") {
+      cfg.adaptive_oracle = true;
     } else if (arg == "--monitors") {
       cfg.attach_monitors = true;
     } else if (arg == "--time-budget") {

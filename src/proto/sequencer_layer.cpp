@@ -31,6 +31,10 @@ void SequencerLayer::start() {
     reg->attach_counter("seq.history_retransmissions", &stats_.history_retransmissions);
     reg->attach_counter("seq.duplicates_dropped", &stats_.duplicates_dropped);
     reg->attach_counter("seq.sequenced", &stats_.sequenced);
+    // Queue depth the switch policy's SignalPlane reads: order requests this
+    // sender has submitted that the sequencer has not echoed back yet. It
+    // grows exactly when the sequencer saturates (Figure 2's rising curve).
+    pending_gauge_ = &reg->gauge("seq.pending");
   }
   ctx().set_timer(cfg_.request_rto, [this] { retransmit_pending(); });
   ctx().set_timer(cfg_.nack_interval, [this] { send_gap_nacks(); });
@@ -60,6 +64,7 @@ void SequencerLayer::down(Message m) {
     w.u64(oseq);
   });
   pending_.emplace(oseq, m.data);
+  if (pending_gauge_) pending_gauge_->set(static_cast<std::int64_t>(pending_.size()));
   m.point_to = sequencer();
   ctx().send_down(std::move(m));
 }
@@ -283,7 +288,10 @@ void SequencerLayer::sequence_and_multicast(std::uint32_t origin, std::uint64_t 
 void SequencerLayer::on_sequenced(std::uint64_t gseq, std::uint32_t origin, std::uint64_t oseq,
                                   Message m, MessageBatch* out) {
   highest_gseq_seen_ = std::max(highest_gseq_seen_, gseq + 1);
-  if (origin == ctx().self().v) pending_.erase(oseq);  // implicit ack
+  if (origin == ctx().self().v) {
+    pending_.erase(oseq);  // implicit ack
+    if (pending_gauge_) pending_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+  }
   if (gseq < next_deliver_ || reorder_.count(gseq) > 0) {
     ++stats_.duplicates_dropped;
     return;

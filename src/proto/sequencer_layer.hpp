@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "stack/layer.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/seq_tracker.hpp"
 
 namespace msw {
@@ -98,6 +99,9 @@ class SequencerLayer : public Layer {
   // Sender state.
   std::uint64_t next_oseq_ = 0;
   std::map<std::uint64_t, Payload> pending_;  // oseq -> order-request frame (shared)
+  /// "seq.pending" queue-depth gauge (null without a metrics registry):
+  /// pending_.size(), the sender-visible sequencer backlog.
+  MetricsRegistry::Gauge* pending_gauge_ = nullptr;
 
   // Sequencer state.
   std::uint64_t next_gseq_ = 0;

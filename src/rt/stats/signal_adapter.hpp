@@ -1,0 +1,34 @@
+// Bridge from the runtime's per-shard stats plane into the switch policy's
+// signal plane.
+//
+// A PolicyOracle running inside an RtGroup sees the same per-layer metrics
+// it sees in the sim (the group's registry lives on its shard), but only
+// the shard knows how healthy the event loop itself is: timer-lag
+// quantiles and inbox backlog. This adapter packages a ShardStats reader
+// as a SignalPlane::ExternalSource so every sampled SignalVector carries
+// the shard's loop-health fields — a saturated loop inflates observed
+// latencies for *both* protocols, and the policy engine can tell
+// "the protocol is slow" apart from "the host is slow".
+//
+// The source reads through the shard's seqlock snapshot, so it is safe
+// from the group's own loop thread (the common case: the sampling timer
+// runs on the shard that owns the group) and from any other thread.
+#pragma once
+
+#include <cstddef>
+
+#include "rt/stats/shard_stats.hpp"
+#include "switch/policy/signal_plane.hpp"
+
+namespace msw {
+
+class RtStatsPlane;
+
+/// ExternalSource reading loop-health signals from one shard's stats.
+/// `stats` must be sealed before the first sample and outlive the source.
+SignalPlane::ExternalSource rt_signal_source(const ShardStats& stats);
+
+/// Convenience: the source for the shard an RtGroup is pinned to.
+SignalPlane::ExternalSource rt_signal_source(RtStatsPlane& plane, std::size_t shard);
+
+}  // namespace msw

@@ -47,6 +47,17 @@ LayerFactory make_hybrid_total_order_factory(HybridConfig cfg) {
                              make_token_factory(cfg.token), cfg.oracle, cfg.sp);
 }
 
+OracleFactory make_policy_oracle_factory(PolicyConfig cfg, SignalPlane::ExternalSource ext) {
+  return [cfg, ext = std::move(ext)](NodeId) {
+    return std::make_unique<PolicyOracle>(cfg, ext);
+  };
+}
+
+LayerFactory make_adaptive_hybrid_factory(HybridConfig cfg, PolicyConfig policy) {
+  cfg.oracle = make_policy_oracle_factory(policy);
+  return make_hybrid_total_order_factory(cfg);
+}
+
 SwitchLayer& switch_layer_of(Stack& stack) {
   return static_cast<SwitchLayer&>(stack.chain().layer(0));
 }

@@ -12,6 +12,7 @@
 #include "proto/token_layer.hpp"
 #include "stack/layer.hpp"
 #include "switch/oracle.hpp"
+#include "switch/policy/policy_oracle.hpp"
 #include "switch/switch_layer.hpp"
 
 namespace msw {
@@ -36,6 +37,16 @@ struct HybridConfig {
 /// The switching protocol over {sequencer, token} total order.
 /// Protocol 0 (initially active) is the sequencer; protocol 1 the token.
 LayerFactory make_hybrid_total_order_factory(HybridConfig cfg = {});
+
+/// Per-member PolicyOracle factory: every node runs its own adaptive
+/// policy engine over its own signal plane. `ext` (optional) merges
+/// external fields — e.g. rt_signal_source() — into every sampled vector.
+OracleFactory make_policy_oracle_factory(PolicyConfig cfg = {},
+                                         SignalPlane::ExternalSource ext = {});
+
+/// The hybrid total-order stack driven by the adaptive PolicyOracle —
+/// make_hybrid_total_order_factory with the policy engine plugged in.
+LayerFactory make_adaptive_hybrid_factory(HybridConfig cfg = {}, PolicyConfig policy = {});
 
 /// The switching protocol over two arbitrary sub-protocol factories.
 /// Each sub-factory builds the (top-first) layer list of one underlying

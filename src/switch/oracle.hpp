@@ -21,6 +21,8 @@
 
 namespace msw {
 
+class Services;
+
 /// Snapshot of local conditions handed to the oracle.
 struct OracleView {
   NodeId self{};
@@ -28,15 +30,36 @@ struct OracleView {
   int active_protocol = 0;
   Time now = 0;
   /// Distinct senders whose messages were delivered here within the
-  /// measurement window (the load signal of Figure 2's x-axis).
+  /// measurement window (the load signal of Figure 2's x-axis). Pruned at
+  /// consult time against `now`, so a slow token rotation never widens the
+  /// window the count covers.
   std::size_t active_senders = 0;
   Time since_last_switch = 0;
+  /// Duration of the most recent full NORMAL-token ring rotation observed
+  /// at this member (0 until two consecutive NORMAL visits have been seen
+  /// since the last switch). A live proxy for token-protocol latency: the
+  /// SP control token crosses the same ring the token protocol would use,
+  /// whichever protocol carries the data.
+  Duration normal_rotation = 0;
+  /// PREPARE-to-install span of this member's most recent local switchover
+  /// (0 before the first) — the observed switch-overhead signal the
+  /// auto-hysteresis controller tunes dwell time from.
+  Duration last_switch_overhead = 0;
+  /// Completed local switchovers at this member, so an oracle can detect
+  /// "a new switch finished since my last consult" without extra wiring.
+  std::uint64_t switches_completed = 0;
 };
 
 class Oracle {
  public:
   virtual ~Oracle() = default;
   virtual bool should_switch(const OracleView& view) = 0;
+
+  /// Wire the oracle to its process. SwitchLayer calls this once from
+  /// start(), after the stack's services (timers, metrics, tracer) are
+  /// live; policy oracles bind their telemetry readers and arm sampling
+  /// timers here. The default is a no-op so threshold oracles stay plain.
+  virtual void attach(Services& services) { (void)services; }
 };
 
 /// Never switches on its own; tests and examples trigger switches through

@@ -90,6 +90,13 @@ void SwitchLayer::start() {
   chain_a_->start();
   chain_b_->start();
 
+  // Seed the dwell clock: "time since last switch" is measured from layer
+  // start until the first real switch. Without this the first consult sees
+  // since_last_switch == now, which under a nonzero time base (wall-clock
+  // runtime, delayed group start) vacuously satisfies any dwell guard.
+  last_switch_time_ = ctx().now();
+  oracle_->attach(*services);
+
   if (ctx().self_index() == 0) {
     // Originate the perpetually-circulating NORMAL token.
     Token t;
@@ -424,6 +431,7 @@ void SwitchLayer::on_token(Token t, NodeId from) {
 void SwitchLayer::begin_prepare_local() {
   prepared_ = true;
   local_switch_started_ = ctx().now();
+  last_normal_visit_ = -1;  // rotation measurements restart after the switch
   tr_->begin(n_local_, TelemetryTrack::kData, epoch_);
   tr_->begin(n_ph_prepare_, TelemetryTrack::kData, epoch_);
   // sent_this_epoch_ is now frozen: subsequent sends count toward the next
@@ -434,11 +442,23 @@ void SwitchLayer::handle_token(Token t) {
   const std::uint32_t self = ctx().self().v;
   switch (t.mode) {
     case TokenMode::kNormal: {
-      const bool initiate =
-          switch_requested_ ||
-          oracle_->should_switch(OracleView{ctx().self(), active_protocol(), ctx().now(),
-                                            active_senders(),
-                                            ctx().now() - last_switch_time_});
+      const Time now = ctx().now();
+      // Ring-rotation measurement: consecutive NORMAL arrivals here are one
+      // full rotation apart. Reset across switches (begin_prepare_local),
+      // so post-switch samples never include switch-rotation time.
+      if (last_normal_visit_ >= 0) normal_rotation_ = now - last_normal_visit_;
+      last_normal_visit_ = now;
+      prune_sender_window(now);
+      OracleView view;
+      view.self = ctx().self();
+      view.active_protocol = active_protocol();
+      view.now = now;
+      view.active_senders = active_senders();
+      view.since_last_switch = now - last_switch_time_;
+      view.normal_rotation = normal_rotation_;
+      view.last_switch_overhead = stats_.last_local_switch_duration;
+      view.switches_completed = stats_.switches_completed;
+      const bool initiate = switch_requested_ || oracle_->should_switch(view);
       if (initiate) {
         switch_requested_ = false;
         i_am_initiator_ = true;
@@ -570,8 +590,7 @@ void SwitchLayer::arm_token_retransmit(std::uint64_t serial) {
   });
 }
 
-std::size_t SwitchLayer::active_senders() const {
-  const Time now = ctx().now();
+void SwitchLayer::prune_sender_window(Time now) {
   for (auto it = last_seen_sender_.begin(); it != last_seen_sender_.end();) {
     if (now - it->second > cfg_.sender_window) {
       it = last_seen_sender_.erase(it);
@@ -579,7 +598,18 @@ std::size_t SwitchLayer::active_senders() const {
       ++it;
     }
   }
-  return last_seen_sender_.size();
+}
+
+std::size_t SwitchLayer::active_senders() const {
+  // Count against the consult-time clock instead of trusting the last
+  // prune: a member whose token visits are slow (large normal_hold, lossy
+  // ring) must not report senders that went quiet a whole window ago.
+  const Time now = ctx().now();
+  std::size_t n = 0;
+  for (const auto& [sender, seen] : last_seen_sender_) {
+    if (now - seen <= cfg_.sender_window) ++n;
+  }
+  return n;
 }
 
 }  // namespace msw

@@ -129,8 +129,15 @@ class SwitchLayer : public Layer {
   };
   const Stats& stats() const { return stats_; }
 
-  /// Distinct senders delivered within cfg.sender_window (oracle signal).
+  /// Distinct senders delivered within cfg.sender_window of now (oracle
+  /// signal). Pure count — expired entries are pruned on the non-const
+  /// consult path, not here.
   std::size_t active_senders() const;
+
+  /// Duration of the most recent full NORMAL-token ring rotation observed
+  /// at this member; 0 until two consecutive NORMAL visits have been seen
+  /// since start (or since the last switch reset the measurement).
+  Duration normal_rotation() const { return normal_rotation_; }
 
   /// Observer invoked once per application delivery with the epoch the
   /// message travelled under (in delivery order). The fuzzer's oracle zips
@@ -203,10 +210,20 @@ class SwitchLayer : public Layer {
   std::uint64_t outstanding_serial_ = 0;
   Payload outstanding_bytes_;
   bool switch_requested_ = false;
+  /// Dwell-clock anchor: seeded to the layer's start time in start() so the
+  /// first consult measures dwell from a real instant, not from time 0 —
+  /// under a wall-clock runtime `now - 0` is enormous and a bursty first
+  /// window could flap immediately.
   Time last_switch_time_ = 0;
 
   // --- oracle signal -------------------------------------------------
-  mutable std::map<std::uint32_t, Time> last_seen_sender_;
+  /// Drop entries older than cfg.sender_window as of `now`. Runs on the
+  /// non-const consult path (NORMAL token) so active_senders() stays a
+  /// plain const read with no const-laundered mutation.
+  void prune_sender_window(Time now);
+  std::map<std::uint32_t, Time> last_seen_sender_;
+  Time last_normal_visit_ = -1;    // previous NORMAL token arrival, -1 = none
+  Duration normal_rotation_ = 0;   // latest full ring-rotation measurement
   std::function<void(std::uint64_t)> epoch_tap_;
 
   // --- telemetry -------------------------------------------------------

@@ -130,6 +130,44 @@ double MetricsRegistry::value_of(const Entry& e) const {
   return 0.0;
 }
 
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name) const {
+  const std::size_t i = index_of(name);
+  return i == npos ? nullptr : &entries_[i];
+}
+
+std::size_t MetricsRegistry::index_of(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? npos : it->second;
+}
+
+void MetricsView::bind(const MetricsRegistry* reg) {
+  reg_ = reg;
+  for (Slot& s : slots_) s.entry = MetricsRegistry::npos;
+}
+
+std::size_t MetricsView::add(std::string_view name) {
+  slots_.push_back(Slot{std::string(name), MetricsRegistry::npos});
+  return slots_.size() - 1;
+}
+
+const MetricsRegistry::Entry* MetricsView::resolve(std::size_t slot) const {
+  if (reg_ == nullptr || slot >= slots_.size()) return nullptr;
+  Slot& s = slots_[slot];
+  if (s.entry == MetricsRegistry::npos) s.entry = reg_->index_of(s.name);
+  if (s.entry == MetricsRegistry::npos) return nullptr;
+  return &reg_->entries()[s.entry];
+}
+
+double MetricsView::read(std::size_t slot) const {
+  const MetricsRegistry::Entry* e = resolve(slot);
+  return e == nullptr ? 0.0 : reg_->value_of(*e);
+}
+
+const MetricsRegistry::Histogram* MetricsView::histogram(std::size_t slot) const {
+  const MetricsRegistry::Entry* e = resolve(slot);
+  return e == nullptr ? nullptr : reg_->histogram_of(*e);
+}
+
 void MetricsRegistry::aggregate(const MetricsRegistry& other) {
   for (const Entry& e : other.entries()) {
     if (e.kind == Kind::kGauge || e.kind == Kind::kHistogram) continue;

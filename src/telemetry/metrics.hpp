@@ -118,6 +118,15 @@ class MetricsRegistry {
   const std::vector<Entry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Read-side lookup by exact registered name (no "#k" folding); nullptr
+  /// when nothing registered under `name` yet. The pointer stays valid for
+  /// the life of the registry but may be invalidated by later
+  /// registrations — resolve to an index (entries() position) to hold on.
+  const Entry* find(std::string_view name) const;
+  /// entries() index of `name`, or npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(std::string_view name) const;
+
   /// Current value of an entry, flattened to a double (counters/externals:
   /// the count; gauges: the level; histograms: the sample count).
   double value_of(const Entry& e) const;
@@ -143,6 +152,45 @@ class MetricsRegistry {
   std::vector<const std::uint64_t*> externals_;
   std::vector<Entry> entries_;
   std::unordered_map<std::string, std::size_t> by_name_;  // name -> entries_ index
+};
+
+/// Cheap read-side view over a registry: declare the instrument names once,
+/// then read current values through stable slots with no string lookups on
+/// the steady path. Names that are not registered yet resolve lazily (layers
+/// attach their counters in start(), which may run after the reader is
+/// wired) and read as 0.0 until they appear. Consumers that sample
+/// periodically — the switch policy's SignalPlane — pay one hash probe per
+/// unresolved name per sample and a plain indexed load afterwards.
+class MetricsView {
+ public:
+  MetricsView() = default;
+  explicit MetricsView(const MetricsRegistry* reg) : reg_(reg) {}
+
+  /// (Re)bind to a registry; previously added slots re-resolve against it.
+  void bind(const MetricsRegistry* reg);
+
+  /// Declare an instrument to watch; returns the slot to read through.
+  std::size_t add(std::string_view name);
+
+  std::size_t slots() const { return slots_.size(); }
+
+  /// Current flattened value (counters/externals: count; gauges: level;
+  /// histograms: sample count). 0.0 while unbound or unresolved.
+  double read(std::size_t slot) const;
+
+  /// The live histogram behind a slot, or nullptr if the slot is not a
+  /// histogram (or not resolved yet).
+  const MetricsRegistry::Histogram* histogram(std::size_t slot) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::size_t entry = MetricsRegistry::npos;  // entries() index once resolved
+  };
+  const MetricsRegistry::Entry* resolve(std::size_t slot) const;
+
+  const MetricsRegistry* reg_ = nullptr;
+  mutable std::vector<Slot> slots_;
 };
 
 }  // namespace msw

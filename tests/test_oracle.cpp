@@ -83,5 +83,17 @@ TEST(HysteresisOracle, DwellTimeSuppressesEarlySwitch) {
   EXPECT_TRUE(o.should_switch(view(0, 9, 2 * kSecond)));
 }
 
+TEST(HysteresisOracle, ExactlyAtDwellBoundarySwitches) {
+  // The guard is `since < min_dwell`: one microsecond short blocks, the
+  // boundary itself allows — in both switch directions.
+  HysteresisOracle o(3, 6, kSecond);
+  EXPECT_FALSE(o.should_switch(view(0, 9, kSecond - 1)));
+  EXPECT_TRUE(o.should_switch(view(0, 9, kSecond)));
+
+  HysteresisOracle back(3, 6, kSecond);
+  EXPECT_FALSE(back.should_switch(view(1, 1, kSecond - 1)));
+  EXPECT_TRUE(back.should_switch(view(1, 1, kSecond)));
+}
+
 }  // namespace
 }  // namespace msw

@@ -21,6 +21,7 @@
 #include "rt/stats/publisher.hpp"
 #include "rt/stats/seqlock.hpp"
 #include "rt/stats/shard_stats.hpp"
+#include "rt/stats/signal_adapter.hpp"
 #include "rt/stats/stats_plane.hpp"
 #include "sim/simulation.hpp"
 #include "stack/stack.hpp"
@@ -150,6 +151,44 @@ TEST(ShardStats, SnapshotDecodesLoopHealthCounters) {
   ASSERT_NE(hwm, nullptr);
   EXPECT_GE(hwm->value, 1u);
 #endif
+}
+
+// ----------------------------------------------------------- signal adapter
+
+TEST(RtSignalAdapter, UnsealedStatsLeaveVectorUntouched) {
+  // The adapter must be safe to install before the wiring phase finishes:
+  // a not-yet-sealed stats plane contributes nothing rather than garbage.
+  EventLoop loop;
+  ShardStats ss(loop, 0);
+  SignalVector v;
+  v.loop_lag_p99_us = 42;
+  v.inbox_depth = 7;
+  rt_signal_source(ss)(v);
+  EXPECT_EQ(v.loop_lag_p99_us, 42);
+  EXPECT_EQ(v.inbox_depth, 7);
+}
+
+TEST(RtSignalAdapter, FillsLoopHealthFieldsFromSnapshot) {
+  EventLoop loop;
+  ShardStats ss(loop, 0);
+  ss.seal();
+  std::thread runner([&] { loop.run(); });
+  std::atomic<bool> flushed{false};
+  loop.post([&] {
+    ss.flush();
+    flushed.store(true);
+  });
+  ASSERT_TRUE(eventually([&] { return flushed.load(); }));
+  loop.stop();
+  runner.join();
+
+  SignalVector v;
+  rt_signal_source(ss)(v);
+  // Loop-health fields decode from the sealed snapshot: whatever lag the
+  // loop actually saw, the adapter must surface it as a finite, nonnegative
+  // number (0 is fine on an idle loop without the stats-enabled probes).
+  EXPECT_GE(v.loop_lag_p99_us, 0.0);
+  EXPECT_GE(v.inbox_depth, 0.0);
 }
 
 // -------------------------------------------------------------- stats plane

@@ -216,5 +216,73 @@ TEST(SwitchEdge, ActiveSendersWindowDecays) {
   EXPECT_EQ(sl(h, 2).active_senders(), 0u);
 }
 
+TEST(SwitchEdge, SlowRotationDoesNotInflateConsultedSenderCount) {
+  // Regression: the sender window must be pruned against *consult time*,
+  // not against the last delivery. With a slowed token rotation (normal
+  // hold ≫ sender window), a consult arriving long after traffic stopped
+  // used to report the stale count — the oracle then saw phantom load
+  // exactly when the ring was slow, the worst moment to over-count.
+  struct RecordingOracle : Oracle {
+    std::vector<std::pair<Time, std::size_t>>* log;
+    explicit RecordingOracle(std::vector<std::pair<Time, std::size_t>>* l) : log(l) {}
+    bool should_switch(const OracleView& v) override {
+      log->push_back({v.now, v.active_senders});
+      return false;
+    }
+  };
+  auto log = std::make_shared<std::vector<std::pair<Time, std::size_t>>>();
+  HybridConfig hcfg;
+  hcfg.sp.sender_window = 100 * kMillisecond;
+  hcfg.sp.normal_hold = 300 * kMillisecond;  // rotation ~0.9 s ≫ window
+  hcfg.oracle = [log](NodeId) { return std::make_unique<RecordingOracle>(log.get()); };
+  GroupHarness h(3, make_hybrid_total_order_factory(hcfg));
+  // Both senders stay active for the first 2 s, then go silent.
+  for (int k = 0; k < 66; ++k) {
+    h.sim.scheduler().at(k * 30 * kMillisecond, [&h, k] {
+      h.group.send(k % 2, to_bytes("x" + std::to_string(k)));
+    });
+  }
+  h.sim.run_for(5 * kSecond);
+  bool saw_both = false;
+  for (const auto& [t, senders] : *log) {
+    if (senders == 2) saw_both = true;
+    if (t >= 2 * kSecond + 200 * kMillisecond) {
+      EXPECT_EQ(senders, 0u) << "stale sender count at t=" << t;
+    }
+  }
+  EXPECT_TRUE(saw_both);
+}
+
+TEST(SwitchEdge, DwellClockSeededFromLayerStart) {
+  // Regression: with last_switch_time_ defaulting to 0, a group started at
+  // a nonzero time base saw since_last_switch == now on the very first
+  // consult — vacuously past any dwell guard. The dwell clock must run
+  // from layer start.
+  Simulation sim(1);
+  Network net(sim.scheduler(), sim.fork_rng(), testing::ideal_net());
+  sim.run_until(5 * kSecond);  // nonzero time base before the group exists
+  HybridConfig cfg;
+  // high = 1: a single steady sender makes the oracle want out immediately;
+  // only the 2 s dwell (counted from layer start at t = 5 s) holds it.
+  cfg.oracle = [](NodeId) { return std::make_unique<HysteresisOracle>(0, 1, 2 * kSecond); };
+  Group group(sim, net, 3, make_hybrid_total_order_factory(cfg));
+  group.start();
+  for (int k = 0; k < 70; ++k) {
+    sim.scheduler().at(5 * kSecond + k * 50 * kMillisecond,
+                       [&group] { group.send(0, to_bytes("x")); });
+  }
+  const auto initiated = [&] {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      n += switch_layer_of(group.stack(i)).stats().switches_initiated;
+    }
+    return n;
+  };
+  sim.run_until(6900 * kMillisecond);
+  EXPECT_EQ(initiated(), 0u);  // t0 + 2 s = 7 s not reached yet
+  sim.run_until(8500 * kMillisecond);
+  EXPECT_GE(initiated(), 1u);
+}
+
 }  // namespace
 }  // namespace msw

@@ -113,6 +113,24 @@ TEST(SwitchFuzz, ScheduleSerializationRoundTrips) {
   EXPECT_FALSE(FaultSchedule::parse("frobnicate@10:1").has_value());
 }
 
+TEST(SwitchFuzz, AdaptiveOracleCampaignSurvivesChurn) {
+  // Oracle-under-churn: the PolicyOracle drives every switch decision while
+  // the schedule injects loss, partitions, crashes, and jitter. The trace
+  // oracle must stay green, and the campaign only counts if the policy
+  // engine actually switched somewhere under that load.
+  FuzzConfig cfg;
+  cfg.adaptive_oracle = true;
+  cfg.enable_crash = true;
+  std::uint64_t max_switches = 0;
+  const FuzzSummary s = run_fuzz(7, 12, cfg, [&](const FuzzIteration& it) {
+    max_switches = std::max(max_switches, it.switches);
+    return true;
+  });
+  EXPECT_TRUE(s.failures.empty())
+      << (s.failures.empty() ? "" : s.failures.front().repro);
+  EXPECT_GE(max_switches, 1u);
+}
+
 TEST(SwitchFuzz, ShrinkerKeepsRecoveryWithOutage) {
   // Shrinking must treat an outage and its recovery as one atom: a shrunk
   // schedule never contains a partition without its heal (or a crash

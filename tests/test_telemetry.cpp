@@ -150,6 +150,39 @@ TEST(MetricsRegistry, AggregateSumsAcrossRegistries) {
   EXPECT_EQ(agg_value(total, "y"), 10.0);
 }
 
+TEST(MetricsView, ResolvesLazilyAndReadsZeroUntilRegistered) {
+  // The signal plane declares the instruments it wants before the layers
+  // that register them exist; a view slot must read 0 until the name shows
+  // up, then track the live instrument without re-declaration.
+  MetricsRegistry reg;
+  MetricsView view(&reg);
+  const std::size_t sent = view.add("app.sent");
+  const std::size_t lat = view.add("app.lat");
+  EXPECT_EQ(view.read(sent), 0.0);
+  EXPECT_EQ(view.histogram(lat), nullptr);
+
+  reg.counter("app.sent").inc(3);
+  EXPECT_EQ(view.read(sent), 3.0);
+  reg.counter("app.sent").inc(2);
+  EXPECT_EQ(view.read(sent), 5.0);  // live view, not a copy
+
+  reg.histogram("app.lat").record(7);
+  ASSERT_NE(view.histogram(lat), nullptr);
+  EXPECT_EQ(view.histogram(lat)->count(), 1u);
+  EXPECT_EQ(view.read(lat), 1.0);  // histograms flatten to sample count
+}
+
+TEST(MetricsView, UnboundViewReadsZeroAndRebindsCleanly) {
+  MetricsView view;
+  const std::size_t slot = view.add("g");
+  EXPECT_EQ(view.read(slot), 0.0);  // unbound: inert, not UB
+
+  MetricsRegistry reg;
+  reg.gauge("g").set(9);
+  view.bind(&reg);
+  EXPECT_EQ(view.read(slot), 9.0);  // previously added slots re-resolve
+}
+
 // -------------------------------------------------------------- event ring
 
 TEST(EventRing, WrapsAroundKeepingNewest) {
